@@ -1,0 +1,32 @@
+"""E11 — ablations: Δ constant and union-vs-mutual marking."""
+
+from conftest import once
+
+from repro.core.sparsifier import build_sparsifier
+from repro.experiments.e11_ablations import run
+from repro.graphs.generators import clique
+
+
+def test_kernel_sampler_comparison(benchmark):
+    """Time the pos-array sampler (the deterministic-probe one)."""
+    g = clique(240)
+    result = benchmark(build_sparsifier, g, 10, 0, "pos_array")
+    assert result.probes is None
+
+
+def test_kernel_rejection_sampler(benchmark):
+    g = clique(240)
+    result = benchmark(build_sparsifier, g, 10, 0, "rejection")
+    assert result.subgraph.num_edges <= 240 * 10
+
+
+def test_table_e11(benchmark):
+    table = once(benchmark, run, trials=3, seed=0)
+    rows = {row[1]: row for row in table.rows}
+    assert rows["mutual first-D (det.)"][3] > 1.5
+    assert rows["union (ours)"][3] <= 1.31
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

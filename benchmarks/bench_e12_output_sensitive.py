@@ -1,0 +1,26 @@
+"""E12 — output-sensitive size bound (Obs 2.10) on star unions."""
+
+from conftest import once
+
+from repro.core.sparsifier import build_sparsifier
+from repro.experiments.e12_output_sensitive import run, star_union
+
+
+def test_kernel_star_union_sparsify(benchmark):
+    """Time sparsification of the high-beta, small-MCM instance."""
+    graph = star_union(12, 32)
+    result = benchmark(build_sparsifier, graph, 6, 0)
+    assert result.subgraph.num_edges <= graph.num_edges
+
+
+def test_table_e12(benchmark):
+    table = once(benchmark, run, seed=0)
+    for row in table.rows:
+        edges, sharp, naive, sharper = row[3], row[4], row[5], row[6]
+        assert edges <= sharp <= naive
+        assert sharper
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

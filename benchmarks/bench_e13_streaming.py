@@ -1,0 +1,33 @@
+"""E13 — streaming: one-pass reservoir sparsifier vs greedy."""
+
+from conftest import once
+
+from repro.experiments.e13_streaming import run
+from repro.graphs.generators import clique_union
+from repro.streaming.reservoir import streaming_sparsifier
+from repro.streaming.stream import EdgeStream
+
+
+def test_kernel_reservoir_pass(benchmark):
+    """Time one reservoir pass over a 38k-edge stream."""
+    graph = clique_union(3, 160)
+
+    def kernel():
+        return streaming_sparsifier(EdgeStream.from_graph(graph), 9, rng=0)
+
+    sparsifier, memory = benchmark(kernel)
+    assert memory < graph.num_edges
+
+
+def test_table_e13(benchmark):
+    table = once(benchmark, run, clique_sizes=(20, 40, 80), seed=0)
+    for row in table.rows:
+        ours_ratio, greedy_ratio = row[4], row[5]
+        assert ours_ratio <= 1.31
+        assert ours_ratio <= greedy_ratio + 1e-9
+    assert table.rows[-1][3] < table.rows[0][3]  # memory fraction falls
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

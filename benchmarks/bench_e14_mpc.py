@@ -1,0 +1,31 @@
+"""E14 — MPC: three-round sparsifier matching under memory caps."""
+
+from conftest import once
+
+from repro.experiments.e14_mpc import run
+from repro.graphs.generators import clique_union
+from repro.mpc.matching import mpc_approx_matching
+
+
+def test_kernel_mpc_protocol(benchmark):
+    """Time one full three-round MPC run (n=240, 8 machines)."""
+    graph = clique_union(4, 60)
+    res = benchmark(mpc_approx_matching, graph, 1, 0.3, 8, None, 0)
+    assert res.rounds == 3
+    assert res.max_load <= res.memory_per_machine
+
+
+def test_table_e14(benchmark):
+    table = once(benchmark, run, seed=0)
+    for row in table.rows:
+        rounds, max_load, budget, raw, ratio = row[2:]
+        assert rounds == 3
+        assert max_load <= budget
+        assert ratio <= 1.31
+    # On the densest row, centralizing the raw graph would overflow.
+    assert table.rows[-1][5] > table.rows[-1][4]
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

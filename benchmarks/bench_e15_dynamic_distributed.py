@@ -1,0 +1,40 @@
+"""E15 — dynamic distributed maintenance of G_Δ under churn."""
+
+from conftest import once
+
+from repro.distributed.dynamic_network import DynamicDistributedSparsifier
+from repro.dynamic.adversaries import ObliviousAdversary
+from repro.experiments.e15_dynamic_distributed import run
+from repro.graphs.generators import clique_union
+
+
+def test_kernel_churn_batch(benchmark):
+    """Time 300 topology changes on a dense network."""
+    host = clique_union(4, 30)
+    universe = list(host.edges())
+
+    def batch():
+        net = DynamicDistributedSparsifier(host.num_vertices, 8, rng=0)
+        adv = ObliviousAdversary(universe, 0.5, rng=1)
+        adv.preload(universe)
+        for u, v in universe:
+            net.insert(u, v)
+        for upd in adv.stream(300):
+            net.update(upd.op, upd.u, upd.v)
+        return net
+
+    net = benchmark.pedantic(batch, rounds=1, iterations=1)
+    assert net.max_messages_per_update() <= 4 * 8 + 2
+
+
+def test_table_e15(benchmark):
+    table = once(benchmark, run, clique_sizes=(10, 20), steps=400, seed=0)
+    for row in table.rows:
+        max_msgs, bound, ratio = row[2], row[3], row[5]
+        assert max_msgs <= bound
+        assert ratio <= 1.6
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,25 @@
+"""E17 — the adaptive-adversary separation between the two dynamic schemes."""
+
+from conftest import once
+
+from repro.experiments.e17_adaptive_separation import run
+
+
+def test_table_e17(benchmark):
+    table = once(benchmark, run, steps=500, trials=2, seed=0)
+    rows = {(row[0], row[1]): row[2] for row in table.rows}
+    thm = [v for (a, k), v in rows.items() if a.startswith("Thm") ]
+    obl_adaptive = [v for (a, k), v in rows.items()
+                    if a.startswith("oblivious") and k == "adaptive"]
+    # Theorem 3.5 stays within 1+eps everywhere.
+    assert all(v <= 1.4 + 1e-9 for v in thm)
+    # The oblivious scheme degrades under adaptivity beyond Thm 3.5's
+    # adaptive cell.
+    thm_adaptive = rows[[k for k in rows if k[0].startswith("Thm")
+                         and k[1] == "adaptive"][0]]
+    assert obl_adaptive[0] >= thm_adaptive - 1e-9
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

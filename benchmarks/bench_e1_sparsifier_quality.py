@@ -1,0 +1,46 @@
+"""E1 — Theorem 2.1: sparsifier quality (kernel: G_Δ construction)."""
+
+from conftest import once
+
+from repro.core.sparsifier import build_sparsifier
+from repro.experiments.e1_quality import run
+from repro.graphs.generators import clique_union
+
+
+def test_kernel_build_sparsifier(benchmark):
+    """Time one G_Δ construction on a dense clique union (n=480)."""
+    graph = clique_union(8, 60)
+    result = benchmark(build_sparsifier, graph, 12, rng=0)
+    assert result.subgraph.num_edges <= graph.num_vertices * 12
+
+
+def test_table_e1(benchmark):
+    """Regenerate (reduced) E1 and assert every trial is within 1+eps."""
+    table = once(benchmark, run, epsilons=(0.5, 0.3), trials=3, seed=0)
+    for row in table.rows:
+        eps, worst = row[3], row[5]
+        assert worst <= 1 + eps
+    print("\n" + table.render())
+
+
+def test_replication_wilson(benchmark):
+    """Statistical form of E1: 30 trials + a Wilson interval on the
+    success probability (the honest reading of 'with high probability')."""
+    from repro.experiments.stats import replicate_quality
+
+    graph = clique_union(4, 60)
+
+    rep = benchmark.pedantic(
+        replicate_quality, args=(graph, 9, 0.3, 30, 0),
+        rounds=1, iterations=1,
+    )
+    assert rep.successes == rep.trials
+    assert rep.confidence_low > 0.85
+    print(f"\nE1-replication: {rep.successes}/{rep.trials} within 1.3, "
+          f"success prob in [{rep.confidence_low:.3f}, "
+          f"{rep.confidence_high:.3f}] (95% Wilson), "
+          f"worst ratio {rep.worst_ratio:.4f}")
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,29 @@
+"""E2 — Observation 2.10: sparsifier size bound."""
+
+from conftest import once
+
+from repro.core.sparsifier import build_sparsifier
+from repro.experiments.e2_size_bound import run
+from repro.graphs.generators import clique_union
+from repro.matching.blossom import mcm_exact
+
+
+def test_kernel_size_measurement(benchmark):
+    """Time sparsify + edge-count on the densest standard instance."""
+    graph = clique_union(4, 60)
+
+    def kernel():
+        return build_sparsifier(graph, 9, rng=0).subgraph.num_edges
+
+    edges = benchmark(kernel)
+    assert edges <= 2 * mcm_exact(graph).size * (9 + 1)
+
+
+def test_table_e2(benchmark):
+    table = once(benchmark, run, seed=0)
+    assert all(row[-1] for row in table.rows)  # bound holds everywhere
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

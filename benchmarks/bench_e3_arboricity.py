@@ -1,0 +1,25 @@
+"""E3 — Observation 2.12: arboricity of G_Δ (kernel: degeneracy)."""
+
+from conftest import once
+
+from repro.core.sparsifier import build_sparsifier
+from repro.experiments.e3_arboricity import run
+from repro.graphs.arboricity import degeneracy
+from repro.graphs.generators import clique_union
+
+
+def test_kernel_degeneracy(benchmark):
+    """Time the degeneracy (arboricity upper bound) of a sparsifier."""
+    sparsifier = build_sparsifier(clique_union(8, 60), 10, rng=0).subgraph
+    d, _ = benchmark(degeneracy, sparsifier)
+    assert d <= 2 * 10
+
+
+def test_table_e3(benchmark):
+    table = once(benchmark, run, seed=0)
+    assert all(row[-1] for row in table.rows)
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

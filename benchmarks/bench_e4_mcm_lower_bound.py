@@ -1,0 +1,24 @@
+"""E4 — Lemma 2.2: |MCM| >= n'/(beta+2) (kernel: exact blossom MCM)."""
+
+from conftest import once
+
+from repro.experiments.e4_mcm_lower_bound import run
+from repro.graphs.generators import clique_union
+from repro.matching.blossom import mcm_exact
+
+
+def test_kernel_exact_mcm(benchmark):
+    """Time the exact matcher on a dense clique union (n=240)."""
+    graph = clique_union(4, 60)
+    matching = benchmark(mcm_exact, graph)
+    assert matching.size == 120
+
+
+def test_table_e4(benchmark):
+    table = once(benchmark, run, seed=0)
+    assert all(row[-1] for row in table.rows)
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,25 @@
+"""E5 — Lemma 2.13: the adversary game vs deterministic marking."""
+
+from conftest import once
+
+from repro.core.lower_bounds import run_deterministic_lower_bound
+from repro.experiments.e5_deterministic_lb import run
+
+
+def test_kernel_adversary_game(benchmark):
+    """Time one full Lemma 2.13 game (n=120, delta=6)."""
+    report = benchmark(run_deterministic_lower_bound, 120, 6)
+    assert report.ratio >= report.paper_bound
+
+
+def test_table_e5(benchmark):
+    table = once(benchmark, run, seed=0)
+    for row in table.rows:
+        det_ratio, paper_bound, rand_ratio = row[2], row[3], row[4]
+        assert det_ratio >= paper_bound
+        assert rand_ratio <= 1.25
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,25 @@
+"""E6 — Observation 2.14: exact-preservation probability."""
+
+from conftest import once
+
+from repro.core.lower_bounds import empirical_exact_preservation
+from repro.experiments.e6_exactness_lb import run
+
+
+def test_kernel_preservation_trials(benchmark):
+    """Time a 50-trial bridge-survival estimate (n=102)."""
+    p = benchmark(empirical_exact_preservation, 51, 10, 50, 0)
+    assert 0.0 <= p <= 1.0
+
+
+def test_table_e6(benchmark):
+    table = once(benchmark, run, half=51, trials=120, seed=0)
+    for row in table.rows:
+        closed, bound, empirical = row[2], row[3], row[4]
+        assert closed <= bound + 1e-9
+        assert abs(empirical - closed) < 0.2
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,37 @@
+"""E7 — Theorem 3.1: the sublinear sequential pipeline."""
+
+from conftest import once
+
+from repro.core.delta import DeltaPolicy
+from repro.experiments.e7_sequential import run
+from repro.graphs.generators import clique_union
+from repro.sequential.pipeline import approximate_matching
+
+
+def test_kernel_pipeline_dense(benchmark):
+    """Time the full sparsify-and-match pipeline on n=480, m=38k."""
+    graph = clique_union(3, 160)
+    policy = DeltaPolicy(constant=0.5)
+
+    result = benchmark(approximate_matching, graph, 1, 0.3, 0, policy)
+    # Sublinearity: far fewer probes than reading the input.
+    assert result.probes < 2 * graph.num_edges
+
+
+def test_kernel_pipeline_scaling(benchmark):
+    """Time the pipeline at doubled n (for the scaling row)."""
+    graph = clique_union(16, 60)
+    result = benchmark(approximate_matching, graph, 1, 0.3, 0)
+    assert result.matching.size > 0
+
+
+def test_table_e7(benchmark):
+    table = once(benchmark, run, seed=0)
+    densify = [row for row in table.rows if row[0] == "densify"]
+    assert densify[-1][5] < densify[0][5]  # probe fraction falls
+    assert all(row[6] <= 1.31 for row in table.rows)
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

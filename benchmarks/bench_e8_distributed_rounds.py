@@ -1,0 +1,26 @@
+"""E8 — Theorem 3.2: distributed rounds and quality vs the baseline."""
+
+from conftest import once
+
+from repro.distributed.pipeline import distributed_approx_matching
+from repro.experiments.e8_distributed import run, trap_graph
+
+
+def test_kernel_full_pipeline(benchmark):
+    """Time one full four-stage distributed run (n=140)."""
+    graph = trap_graph(4, 20, num_paths=15)
+    rep = benchmark(distributed_approx_matching, graph, 2, 0.34, 0)
+    assert rep.matching.is_valid_for(graph)
+
+
+def test_table_e8(benchmark):
+    table = once(benchmark, run, sizes=(3, 6), seed=0)
+    for row in table.rows:
+        ours_ratio, base_ratio = row[4], row[5]
+        assert ours_ratio <= 1.34 + 1e-9
+        assert ours_ratio <= base_ratio + 1e-9
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,25 @@
+"""Keep the example scripts green: run each one under the bench timer.
+
+Examples are user-facing documentation; this suite guarantees they stay
+executable as the library evolves (running them in the fast test suite
+would be too slow, so they live with the benchmarks).
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(benchmark, script, capsys):
+    def run():
+        runpy.run_path(str(script), run_name="__main__")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"

@@ -1,0 +1,71 @@
+"""Cross-cutting kernel benchmarks (not tied to one experiment).
+
+Times the hot algorithmic primitives against each other and against
+NetworkX, so performance regressions in the substrates are visible
+independently of the experiment tables.
+"""
+
+import networkx as nx
+
+from repro.core.sparsifier import build_sparsifier
+from repro.graphs.builder import to_networkx
+from repro.graphs.generators import clique_union, erdos_renyi, unit_disk_graph
+from repro.matching.blossom import mcm_exact
+from repro.matching.greedy import greedy_maximal_matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.graphs.generators import random_bipartite
+
+
+def test_blossom_on_sparsifier(benchmark):
+    """The pipeline's real matcher workload: blossom on a sparsifier."""
+    g = clique_union(6, 60)
+    sp = build_sparsifier(g, 9, rng=0).subgraph
+    m = benchmark(mcm_exact, sp)
+    assert m.size == 180
+
+
+def test_networkx_exact_reference(benchmark):
+    """NetworkX's exact matcher on the same sparsifier (reference)."""
+    g = clique_union(6, 60)
+    sp = to_networkx(build_sparsifier(g, 9, rng=0).subgraph)
+    result = benchmark(
+        nx.max_weight_matching, sp, True
+    )
+    assert len(result) == 180
+
+
+def test_greedy_kernel(benchmark):
+    g = erdos_renyi(400, 0.1, rng=1)
+    m = benchmark(greedy_maximal_matching, g)
+    assert m.is_maximal_for(g)
+
+
+def test_hopcroft_karp_kernel(benchmark):
+    g = random_bipartite(200, 200, 0.05, rng=2)
+    m = benchmark(hopcroft_karp, g)
+    assert m.size > 0
+
+
+def test_pos_array_vs_rejection_pos(benchmark):
+    g = clique_union(4, 100)
+    res = benchmark(build_sparsifier, g, 12, 0, "pos_array")
+    assert res.subgraph.num_edges > 0
+
+
+def test_pos_array_vs_rejection_rej(benchmark):
+    g = clique_union(4, 100)
+    res = benchmark(build_sparsifier, g, 12, 0, "rejection")
+    assert res.subgraph.num_edges > 0
+
+
+def test_unit_disk_generation(benchmark):
+    graph, _ = benchmark(unit_disk_graph, 1000, 8.0, 1.0, 3)
+    assert graph.num_vertices == 1000
+
+
+def test_beta_exact_kernel(benchmark):
+    from repro.graphs.neighborhood import neighborhood_independence_exact
+
+    g, _ = unit_disk_graph(300, 4.0, rng=4)
+    beta = benchmark(neighborhood_independence_exact, g, 120)
+    assert 1 <= beta <= 5

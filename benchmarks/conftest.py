@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_eN_*.py`` module pairs with experiment ``eN``:
+
+* ``test_kernel_*`` benchmarks time the hot operation behind the
+  experiment (sparsifier construction, a pipeline run, an update batch);
+* ``test_table_*`` regenerates a reduced-size version of the experiment
+  table inside the benchmark timer and asserts its headline invariant.
+
+Run ``pytest benchmarks/ --benchmark-only`` for timings, or execute an
+experiment module directly (``python -m repro.cli eN``) for the
+full-size table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Table-regeneration functions are too slow for pytest-benchmark's
+    auto-calibration; one timed round is enough for reporting.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

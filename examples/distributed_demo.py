@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Anatomy of the distributed pipeline, stage by stage.
+
+Runs each protocol of Theorem 3.2 separately on one network and prints
+what every stage costs (rounds / messages / bits) and what it produces —
+a didactic tour of §3.2.  Run::
+
+    python examples/distributed_demo.py
+"""
+
+from repro import mcm_exact
+from repro.core.bounded_degree import solomon_degree_bound
+from repro.core.delta import DeltaPolicy
+from repro.distributed import (
+    AugmentingPathEliminationProtocol,
+    RandomizedMatchingProtocol,
+    SolomonProtocol,
+    SparsifierProtocol,
+    SyncNetwork,
+)
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique_union
+from repro.instrument.counters import CounterSet
+
+
+def stage(name: str, metrics: CounterSet, before: dict) -> dict:
+    after = metrics.snapshot()
+    print(f"  {name}: rounds +{after.get('rounds', 0) - before.get('rounds', 0)}, "
+          f"messages +{after.get('messages', 0) - before.get('messages', 0)}, "
+          f"bits +{after.get('bits', 0) - before.get('bits', 0)}")
+    return after
+
+
+def main() -> None:
+    beta, epsilon = 1, 0.34
+    graph = clique_union(4, 24)
+    optimum = mcm_exact(graph).size
+    print(f"network: n={graph.num_vertices}, m={graph.num_edges}, "
+          f"exact MCM = {optimum}\n")
+
+    metrics = CounterSet()
+    snapshot: dict = {}
+    delta = DeltaPolicy(constant=0.6).delta(beta, epsilon, graph.num_vertices)
+
+    # Stage 1: one-round random sparsifier.
+    print(f"stage 1 — SparsifierProtocol (delta = {delta}):")
+    net = SyncNetwork(graph, metrics)
+    sparsify = SparsifierProtocol(delta, rng=0)
+    net.run(sparsify, max_rounds=2)
+    g_delta = from_edges(graph.num_vertices, sorted(sparsify.edges))
+    snapshot = stage("cost", metrics, snapshot)
+    print(f"  G_delta: {g_delta.num_edges} edges "
+          f"({g_delta.num_edges / graph.num_edges:.1%} of input)\n")
+
+    # Stage 2: one-round Solomon bounded-degree sparsifier.
+    bound = solomon_degree_bound(2 * delta, epsilon)
+    print(f"stage 2 — SolomonProtocol (degree bound = {bound}):")
+    net2 = SyncNetwork(g_delta, metrics)
+    solomon = SolomonProtocol(bound)
+    net2.run(solomon, max_rounds=2)
+    g_tilde = from_edges(graph.num_vertices, sorted(solomon.edges))
+    snapshot = stage("cost", metrics, snapshot)
+    print(f"  G~: {g_tilde.num_edges} edges, max degree "
+          f"{g_tilde.max_degree()} (bound {bound})\n")
+
+    # Stage 3: randomized maximal matching.
+    print("stage 3 — RandomizedMatchingProtocol:")
+    net3 = SyncNetwork(g_tilde, metrics)
+    matcher = RandomizedMatchingProtocol(rng=1)
+    net3.run(matcher, max_rounds=10_000)
+    snapshot = stage("cost", metrics, snapshot)
+    size3 = matcher.matching.size
+    print(f"  maximal matching: {size3} edges "
+          f"(ratio {optimum / size3:.3f})\n")
+
+    # Stage 4: short augmenting-path elimination.
+    print("stage 4 — AugmentingPathEliminationProtocol (k = 3):")
+    improver = AugmentingPathEliminationProtocol(3, matcher.mate, rng=2)
+    net4 = SyncNetwork(g_tilde, metrics)
+    net4.run(improver, max_rounds=100_000)
+    snapshot = stage("cost", metrics, snapshot)
+    size4 = improver.matching.size
+    print(f"  improved matching: {size4} edges "
+          f"(ratio {optimum / size4:.3f}, "
+          f"{improver.iterations} iterations)\n")
+
+    total = metrics.snapshot()
+    print(f"end-to-end: {total['rounds']} rounds, {total['messages']} messages")
+    print("(stages 1-3 are the Theorem 3.3 message-lean pipeline; stage 4 "
+          "trades LOCAL-model flooding for the 1+eps quality — see "
+          "experiment E9 for the sublinear-message measurement)")
+
+
+if __name__ == "__main__":
+    main()

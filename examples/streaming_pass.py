@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""One-pass matching over an edge stream that doesn't fit in memory.
+
+A logging pipeline emits pairwise-compatibility edges between tasks; the
+stream is too large to store, but tasks have bounded conflict structure
+(β ≤ 2: clique unions plus chains).  A single pass of per-vertex
+reservoir sampling retains only O(n·Δ) edges — distributed exactly like
+the paper's G_Δ — and matching the retained subgraph offline is
+(1+ε)-optimal, while the classic one-pass greedy matcher is stuck at its
+2-approximation traps.  Run::
+
+    python examples/streaming_pass.py
+"""
+
+from repro import mcm_exact
+from repro.core.delta import DeltaPolicy
+from repro.experiments.e8_distributed import trap_graph
+from repro.streaming import (
+    EdgeStream,
+    streaming_approx_matching,
+    streaming_greedy_matching,
+)
+
+
+def main() -> None:
+    graph = trap_graph(num_cliques=4, clique_size=150, num_paths=150)
+    optimum = mcm_exact(graph).size
+    print(f"stream: n={graph.num_vertices} tasks, "
+          f"m={graph.num_edges} compatibility edges, beta = 2")
+    print(f"offline optimum: {optimum}\n")
+
+    ours = streaming_approx_matching(
+        EdgeStream.from_graph(graph, rng=0), beta=2, epsilon=0.25,
+        rng=1, policy=DeltaPolicy(constant=0.6),
+    )
+    greedy = streaming_greedy_matching(EdgeStream.from_graph(graph, rng=0))
+
+    print("reservoir sparsifier (this paper):")
+    print(f"  matched: {ours.matching.size}  "
+          f"(ratio {optimum / ours.matching.size:.3f})")
+    print(f"  passes: {ours.passes}, memory: {ours.memory} edge slots "
+          f"({ours.memory / graph.num_edges:.1%} of the stream)\n")
+
+    print("one-pass greedy (classic semi-streaming baseline):")
+    print(f"  matched: {greedy.matching.size}  "
+          f"(ratio {optimum / greedy.matching.size:.3f})")
+    print(f"  passes: {greedy.passes}, memory: {greedy.memory} matched pairs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Wireless link scheduling on a unit-disk network.
+
+The intro's motivating setting for bounded-growth graphs: radios in the
+plane, an interference edge between any two within range (a unit-disk
+graph, β ≤ 5).  A matching is a set of simultaneously schedulable
+point-to-point transmissions.  We schedule with the *distributed*
+pipeline of Theorem 3.2 — each radio acts on local information only —
+and compare rounds/messages/quality against the (2+ε)-style baseline.
+Run::
+
+    python examples/wireless_scheduling.py
+"""
+
+from repro import mcm_exact
+from repro.core.delta import DeltaPolicy
+from repro.distributed import (
+    distributed_approx_matching,
+    distributed_baseline_matching,
+)
+from repro.graphs.generators import unit_disk_graph
+
+
+def main() -> None:
+    graph, points = unit_disk_graph(num_points=220, area_side=4.0, rng=7)
+    beta = 5  # planar packing bound for unit disks
+    optimum = mcm_exact(graph).size
+    print(f"radio network: n={graph.num_vertices} radios, "
+          f"m={graph.num_edges} interference pairs")
+    print(f"max simultaneous transmissions (exact MCM): {optimum}\n")
+
+    policy = DeltaPolicy(constant=0.5)
+    ours = distributed_approx_matching(graph, beta=beta, epsilon=0.5,
+                                       rng=1, policy=policy)
+    base = distributed_baseline_matching(graph, beta=beta, epsilon=0.5,
+                                         rng=1, policy=policy)
+
+    for name, rep in (("sparsify + improve (Thm 3.2)", ours),
+                      ("maximal-matching baseline", base)):
+        ratio = optimum / rep.matching.size if rep.matching.size else float("inf")
+        print(f"{name}:")
+        print(f"  scheduled links: {rep.matching.size}  "
+              f"(ratio {ratio:.3f})")
+        print(f"  rounds: {rep.rounds}, messages: {rep.messages}\n")
+    print("(the improvement stage floods local balls, so it pays messages "
+          "for quality;\n message *sublinearity* — Theorem 3.3 — is "
+          "demonstrated on dense inputs by experiment E9)\n")
+
+    # Show the schedule is physically valid: no radio in two links.
+    used = set()
+    for u, v in ours.matching.edges():
+        assert u not in used and v not in used
+        used.update((u, v))
+    print(f"schedule validated: {len(used)} radios active, none doubly booked")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""repro — matching sparsifiers for graphs of bounded neighborhood independence.
+
+A full reproduction of Milenković & Solomon, *"A Unified Sparsification
+Approach for Matching Problems in Graphs of Bounded Neighborhood
+Independence"* (SPAA 2020).  The core object is the random sparsifier
+G_Δ: every vertex marks Δ = Θ((β/ε)·log(1/ε)) random incident edges and
+G_Δ is the union of the marks — a (1+ε)-matching sparsifier w.h.p.
+(Theorem 2.1).  On top of it the package provides the paper's three
+applications: a sublinear-probe sequential (1+ε)-matcher (Theorem 3.1),
+distributed pipelines with round/message accounting (Theorems 3.2/3.3),
+and a fully dynamic matcher with worst-case bounded update work that is
+safe against adaptive adversaries (Theorem 3.5).
+
+Quickstart
+----------
+>>> from repro import build_sparsifier, delta_practical, mcm_exact
+>>> from repro.graphs.generators import clique_union
+>>> g = clique_union(10, 40)                 # dense, beta = 1
+>>> result = build_sparsifier(g, delta_practical(beta=1, epsilon=0.2), rng=0)
+>>> mcm_exact(result.subgraph).size >= mcm_exact(g).size / 1.2
+True
+"""
+
+from repro.core import (
+    DeltaPolicy,
+    RandomSparsifier,
+    SparsifierResult,
+    build_sparsifier,
+    composed_sparsifier,
+    delta_paper,
+    delta_practical,
+    solomon_sparsifier,
+    sparsifier_quality,
+)
+from repro.graphs import (
+    AdjacencyArrayGraph,
+    from_edges,
+    from_networkx,
+    neighborhood_independence_exact,
+    to_networkx,
+)
+from repro.matching import (
+    Matching,
+    greedy_maximal_matching,
+    hopcroft_karp,
+    mcm_approx,
+    mcm_exact,
+)
+from repro.sequential import approximate_matching
+from repro.distributed import (
+    distributed_approx_matching,
+    distributed_baseline_matching,
+)
+from repro.dynamic import (
+    AdaptiveAdversary,
+    DynamicMaximalMatching,
+    DynamicSparsifier,
+    LazyRebuildMatching,
+    ObliviousAdversary,
+)
+from repro.streaming import (
+    EdgeStream,
+    streaming_approx_matching,
+    streaming_greedy_matching,
+)
+from repro.mpc import mpc_approx_matching
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveAdversary",
+    "AdjacencyArrayGraph",
+    "DeltaPolicy",
+    "DynamicMaximalMatching",
+    "DynamicSparsifier",
+    "EdgeStream",
+    "LazyRebuildMatching",
+    "Matching",
+    "ObliviousAdversary",
+    "RandomSparsifier",
+    "SparsifierResult",
+    "approximate_matching",
+    "build_sparsifier",
+    "composed_sparsifier",
+    "delta_paper",
+    "delta_practical",
+    "distributed_approx_matching",
+    "distributed_baseline_matching",
+    "from_edges",
+    "from_networkx",
+    "greedy_maximal_matching",
+    "hopcroft_karp",
+    "mcm_approx",
+    "mcm_exact",
+    "mpc_approx_matching",
+    "neighborhood_independence_exact",
+    "solomon_sparsifier",
+    "sparsifier_quality",
+    "streaming_approx_matching",
+    "streaming_greedy_matching",
+    "to_networkx",
+]

@@ -1,0 +1,76 @@
+"""Command-line entry point: regenerate any experiment table.
+
+Usage::
+
+    repro-experiments e1          # one experiment
+    repro-experiments all         # everything (takes a while)
+    repro-experiments --list      # enumerate experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import REGISTRY
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments and print their tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper-claim reproduction tables (E1-E12).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (e1..e12) or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="root RNG seed (default 0)"
+    )
+    parser.add_argument(
+        "--markdown", action="store_true",
+        help="emit GitHub-flavored Markdown tables",
+    )
+    parser.add_argument(
+        "--output", metavar="DIR", default=None,
+        help="also save each table to DIR/<id>.json and DIR/<id>.csv",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for key in sorted(REGISTRY, key=lambda k: int(k[1:])):
+            doc = (REGISTRY[key].__module__ or "").rsplit(".", 1)[-1]
+            print(f"{key:>4}  {doc}")
+        return 0
+
+    wanted = (
+        sorted(REGISTRY, key=lambda k: int(k[1:]))
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for key in wanted:
+        if key not in REGISTRY:
+            print(f"unknown experiment {key!r}; use --list", file=sys.stderr)
+            return 2
+        table = REGISTRY[key](seed=args.seed)
+        print(table.to_markdown() if args.markdown else table.render())
+        print()
+        if args.output is not None:
+            from pathlib import Path
+
+            from repro.io import save_table
+
+            out = Path(args.output)
+            out.mkdir(parents=True, exist_ok=True)
+            save_table(out / f"{key}.json", table)
+            save_table(out / f"{key}.csv", table)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""The paper's primary contribution: the random matching sparsifier G_Δ.
+
+* :mod:`repro.core.delta` — the Δ(β, ε) policy (Theorem 2.1's constant and
+  a calibrated practical one).
+* :mod:`repro.core.sparsifier` — G_Δ itself, with both samplers from §3.1.
+* :mod:`repro.core.bounded_degree` — Solomon's ITCS'18 bounded-degree
+  sparsifier for bounded-arboricity graphs.
+* :mod:`repro.core.compose` — the two-round composition G̃_Δ of §3.2.
+* :mod:`repro.core.properties` — checkers for Obs 2.10/2.12 and quality.
+* :mod:`repro.core.lower_bounds` — Lemma 2.13 / Obs 2.14 constructions.
+"""
+
+from repro.core.bounds import PaperBounds
+from repro.core.delta import (
+    DeltaPolicy,
+    PAPER_CONSTANT,
+    PRACTICAL_CONSTANT,
+    beta_regime_ok,
+    delta_paper,
+    delta_practical,
+)
+from repro.core.sparsifier import RandomSparsifier, SparsifierResult, build_sparsifier
+from repro.core.bounded_degree import solomon_sparsifier
+from repro.core.compose import composed_sparsifier
+from repro.core.properties import (
+    arboricity_bound_holds,
+    size_bound_holds,
+    sparsifier_quality,
+)
+
+__all__ = [
+    "DeltaPolicy",
+    "PAPER_CONSTANT",
+    "PRACTICAL_CONSTANT",
+    "PaperBounds",
+    "RandomSparsifier",
+    "SparsifierResult",
+    "arboricity_bound_holds",
+    "beta_regime_ok",
+    "build_sparsifier",
+    "composed_sparsifier",
+    "delta_paper",
+    "delta_practical",
+    "size_bound_holds",
+    "solomon_sparsifier",
+    "sparsifier_quality",
+]

@@ -1,0 +1,111 @@
+"""The paper's bounds as a calculator — predicted numbers for any (n, β, ε).
+
+Experiments compare measured quantities against paper predictions; this
+module centralizes the predictions so tables and users quote the same
+formulas.  Everything is a direct transcription of a theorem statement:
+
+* Theorem 2.1 / Claim 2.7 — Δ;
+* Observation 2.10 — sparsifier size;
+* Observation 2.12 — arboricity;
+* Lemma 2.2 — MCM lower bound;
+* Theorem 3.1 — sequential probe bound;
+* Theorem 3.3 — message bound (per round of the black box);
+* Theorem 3.5 — dynamic update bound;
+* Lemma 2.13 / Observation 2.14 — the two lower bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.delta import delta_paper, delta_practical
+
+
+@dataclass(frozen=True)
+class PaperBounds:
+    """All paper-predicted quantities for one parameter point.
+
+    Attributes are direct theorem transcriptions; see module docstring.
+    ``delta`` uses the practical constant (``delta_proven`` the paper's
+    20), and all downstream bounds are expressed with ``delta``.
+    """
+
+    n: int
+    beta: int
+    epsilon: float
+    mcm_size: int | None = None
+
+    @property
+    def delta(self) -> int:
+        """Δ with the practical constant."""
+        return delta_practical(self.beta, self.epsilon)
+
+    @property
+    def delta_proven(self) -> int:
+        """Δ = 20·(β/ε)·ln(24/ε), the Claim 2.7 constant."""
+        return delta_paper(self.beta, self.epsilon)
+
+    @property
+    def mcm_lower_bound(self) -> float:
+        """Lemma 2.2: |MCM| ≥ n/(β+2) (n = non-isolated vertices)."""
+        return self.n / (self.beta + 2)
+
+    @property
+    def sparsifier_size_naive(self) -> int:
+        """n·Δ (trivial)."""
+        return self.n * self.delta
+
+    @property
+    def sparsifier_size_sharp(self) -> float:
+        """Observation 2.10: 2·|MCM|·(Δ+β); uses Lemma 2.2 when the MCM
+        size is unknown (then it is an upper bound on the bound)."""
+        mcm = self.mcm_size if self.mcm_size is not None else self.n / 2
+        return 2 * mcm * (self.delta + self.beta)
+
+    @property
+    def arboricity_bound(self) -> int:
+        """Observation 2.12: 2Δ."""
+        return 2 * self.delta
+
+    @property
+    def sequential_probe_bound(self) -> int:
+        """Theorem 3.1: n·(Δ+1) probes with the pos-array sampler."""
+        return self.n * (self.delta + 1)
+
+    @property
+    def dynamic_update_bound(self) -> float:
+        """Theorem 3.5 shape: O(Δ/ε²) work per update (in ops)."""
+        return self.delta / (self.epsilon ** 2)
+
+    def messages_bound(self, rounds: int) -> int:
+        """Theorem 3.3: ≤ rounds · n·Δ messages for a T-round black box."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        return rounds * self.n * self.delta
+
+    @property
+    def deterministic_ratio_lower_bound(self) -> float:
+        """Lemma 2.13: any deterministic G_Δ has ratio ≥ n/(2Δ)."""
+        return self.n / (2 * self.delta)
+
+    def exact_preservation_upper_bound(self) -> float:
+        """Observation 2.14: P[exact] ≤ 4Δ/n on the bridge instance."""
+        return min(1.0, 4 * self.delta / self.n)
+
+    def summary(self) -> dict[str, float]:
+        """All bounds as a flat dict (for table annotations)."""
+        return {
+            "delta": float(self.delta),
+            "delta_proven": float(self.delta_proven),
+            "mcm_lower_bound": self.mcm_lower_bound,
+            "sparsifier_size_naive": float(self.sparsifier_size_naive),
+            "sparsifier_size_sharp": float(self.sparsifier_size_sharp),
+            "arboricity_bound": float(self.arboricity_bound),
+            "sequential_probe_bound": float(self.sequential_probe_bound),
+            "dynamic_update_bound": self.dynamic_update_bound,
+            "deterministic_ratio_lower_bound":
+                self.deterministic_ratio_lower_bound,
+            "exact_preservation_upper_bound":
+                self.exact_preservation_upper_bound(),
+        }

@@ -1,0 +1,38 @@
+"""Distributed algorithms (Theorems 3.2 and 3.3) on a simulated network.
+
+The simulator (:mod:`repro.distributed.network`) runs fault-free
+synchronous rounds in the LOCAL/CONGEST style with unicast support and
+exact round/message/bit accounting — the paper's round- and
+message-complexity claims are counting statements, so the simulator
+reproduces them exactly.
+"""
+
+from repro.distributed.network import Message, Protocol, SyncNetwork
+from repro.distributed.dynamic_network import DynamicDistributedSparsifier
+from repro.distributed.sparsify_round import (
+    BroadcastSparsifierProtocol,
+    SparsifierProtocol,
+)
+from repro.distributed.solomon_round import SolomonProtocol
+from repro.distributed.maximal_matching import RandomizedMatchingProtocol
+from repro.distributed.improvement import AugmentingPathEliminationProtocol
+from repro.distributed.pipeline import (
+    DistributedRunReport,
+    distributed_approx_matching,
+    distributed_baseline_matching,
+)
+
+__all__ = [
+    "AugmentingPathEliminationProtocol",
+    "BroadcastSparsifierProtocol",
+    "DistributedRunReport",
+    "DynamicDistributedSparsifier",
+    "Message",
+    "Protocol",
+    "RandomizedMatchingProtocol",
+    "SolomonProtocol",
+    "SparsifierProtocol",
+    "SyncNetwork",
+    "distributed_approx_matching",
+    "distributed_baseline_matching",
+]

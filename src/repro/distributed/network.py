@@ -1,0 +1,141 @@
+"""Synchronous message-passing network simulator (LOCAL / CONGEST).
+
+Model (Section 3.2): processors wake simultaneously; computation proceeds
+in fault-free synchronous rounds; in each round every processor may send a
+message along each incident edge (unicast: to any *subset* of neighbors,
+which is what enables the paper's 1-bit sparsifier round and its sublinear
+message complexity).
+
+The simulator charges three counters per run:
+
+* ``rounds`` — synchronous rounds executed;
+* ``messages`` — individual point-to-point messages delivered;
+* ``bits`` — total message payload size (a payload's ``bit_size``).
+
+Protocols subclass :class:`Protocol`; they only see their own node-local
+state and inboxes, so information locality is enforced by construction
+(a protocol that wants remote information must pay rounds and messages
+for it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.instrument.counters import CounterSet
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint vertex ids; must be adjacent in the communication graph.
+    payload:
+        Arbitrary content.
+    bits:
+        Declared payload size in bits (1 for the sparsifier's mark
+        messages; O(log n) for id-carrying messages in CONGEST).
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    bits: int = 1
+
+
+class Protocol:
+    """Base class for synchronous protocols.
+
+    Lifecycle: the network calls :meth:`setup` once, then repeatedly calls
+    :meth:`round` for every vertex (same round number for all vertices,
+    with the inbox holding messages sent to it in the previous round)
+    until :meth:`finished` returns True or the round limit is reached.
+    """
+
+    def setup(self, network: "SyncNetwork") -> None:
+        """One-time initialization; may inspect only local structure."""
+
+    def round(self, network: "SyncNetwork", v: int, inbox: list[Message]) -> list[Message]:
+        """Compute vertex ``v``'s round: consume inbox, emit messages."""
+        raise NotImplementedError
+
+    def finished(self, network: "SyncNetwork") -> bool:
+        """Global termination predicate (evaluated between rounds)."""
+        raise NotImplementedError
+
+    def finalize(self, network: "SyncNetwork", v: int, inbox: list[Message]) -> None:
+        """Deliver messages sent in the final round (no reply possible).
+
+        Receiving is free in the synchronous model: messages sent in the
+        last round reach their destinations without a further round being
+        charged.  Default: drop them.
+        """
+
+
+@dataclass
+class SyncNetwork:
+    """The synchronous network over a communication graph.
+
+    Attributes
+    ----------
+    graph:
+        Communication topology; messages may travel only along its edges.
+    metrics:
+        ``rounds`` / ``messages`` / ``bits`` counters, cumulative across
+        :meth:`run` calls (protocol pipelines compose on one network, so
+        the totals are end-to-end — exactly what Theorem 3.3 counts).
+    """
+
+    graph: AdjacencyArrayGraph
+    metrics: CounterSet = field(default_factory=CounterSet)
+
+    def degree(self, v: int) -> int:
+        """Local degree — free for a node to know (its port count)."""
+        return int(self.graph.indptr[v + 1] - self.graph.indptr[v])
+
+    def neighbors(self, v: int) -> list[int]:
+        """v's neighbor list (its ports)."""
+        return [int(u) for u in self.graph.neighbors_array(v)]
+
+    def run(self, protocol: Protocol, max_rounds: int) -> int:
+        """Execute ``protocol`` until it finishes; returns rounds used.
+
+        Raises
+        ------
+        RuntimeError
+            If ``max_rounds`` elapse without termination, or a protocol
+            emits a message along a non-edge (a model violation).
+        """
+        n = self.graph.num_vertices
+        protocol.setup(self)
+        inboxes: list[list[Message]] = [[] for _ in range(n)]
+        rounds_used = 0
+        while not protocol.finished(self):
+            if rounds_used >= max_rounds:
+                raise RuntimeError(
+                    f"protocol {type(protocol).__name__} exceeded {max_rounds} rounds"
+                )
+            next_inboxes: list[list[Message]] = [[] for _ in range(n)]
+            for v in range(n):
+                for msg in protocol.round(self, v, inboxes[v]):
+                    if msg.src != v:
+                        raise RuntimeError(f"vertex {v} forged src={msg.src}")
+                    if not self.graph.has_edge(msg.src, msg.dst):
+                        raise RuntimeError(
+                            f"message along non-edge ({msg.src}, {msg.dst})"
+                        )
+                    self.metrics["messages"].increment()
+                    self.metrics["bits"].add(msg.bits)
+                    next_inboxes[msg.dst].append(msg)
+            inboxes = next_inboxes
+            rounds_used += 1
+            self.metrics["rounds"].increment()
+        for v in range(n):
+            if inboxes[v]:
+                protocol.finalize(self, v, inboxes[v])
+        return rounds_used

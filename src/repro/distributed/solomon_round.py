@@ -1,0 +1,59 @@
+"""One-round distributed Solomon (ITCS'18) bounded-degree sparsifier.
+
+On a graph of arboricity ≤ α (for us: G_Δ, with α ≤ 2Δ by Obs 2.12),
+every vertex marks Δ_α arbitrary incident edges (its first Δ_α ports) and
+sends a 1-bit message along each; an edge survives iff **both** endpoints
+marked it — which each endpoint detects locally by pairing its own mark
+with the received bit.  Maximum degree of the output is ≤ Δ_α by
+construction.
+"""
+
+from __future__ import annotations
+
+from repro.distributed.network import Message, Protocol, SyncNetwork
+
+
+class SolomonProtocol(Protocol):
+    """One-round mutual-marking protocol.
+
+    After the run, :attr:`edges` holds the surviving (mutually marked)
+    edges.
+
+    Parameters
+    ----------
+    degree_bound:
+        Δ_α, the number of ports each vertex marks (= output max degree).
+    """
+
+    def __init__(self, degree_bound: int) -> None:
+        if degree_bound < 1:
+            raise ValueError(f"degree_bound must be >= 1, got {degree_bound}")
+        self.degree_bound = degree_bound
+        self._sent = False
+        self._marked: dict[int, set[int]] = {}
+        self.edges: set[tuple[int, int]] = set()
+
+    def setup(self, network: SyncNetwork) -> None:
+        self._sent = False
+        self._marked = {}
+        self.edges = set()
+
+    def round(self, network: SyncNetwork, v: int, inbox: list[Message]) -> list[Message]:
+        deg = network.degree(v)
+        k = min(self.degree_bound, deg)
+        mine = {int(network.graph.neighbor(v, port)) for port in range(k)}
+        self._marked[v] = mine
+        return [Message(src=v, dst=u, payload="mark", bits=1) for u in mine]
+
+    def finished(self, network: SyncNetwork) -> bool:
+        if not self._sent:
+            self._sent = True
+            return False
+        return True
+
+    def finalize(self, network: SyncNetwork, v: int, inbox: list[Message]) -> None:
+        # v keeps edge (v, u) iff it marked u and u marked v.
+        for msg in inbox:
+            u = msg.src
+            if u in self._marked.get(v, ()):
+                self.edges.add((v, u) if v < u else (u, v))

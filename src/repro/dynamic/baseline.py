@@ -1,0 +1,87 @@
+"""Deterministic dynamic maximal matching — the 2-approximation baseline.
+
+Stands in for Barenboim–Maimon [14] (see DESIGN.md §4(3)): a deterministic
+dynamic *maximal* matching whose update cost is a neighbor scan, i.e.
+O(deg) — growing with density/n — against which Theorem 3.5's
+O((β/ε³)·log(1/ε)) n-independent update cost is compared in E10.
+
+Invariant after every update: the matching is maximal (no edge has both
+endpoints free).  Maintenance:
+
+* insert(u, v): match the edge iff both endpoints are free.
+* delete(u, v): if the edge was matched, each endpoint scans its
+  neighborhood for a free partner and rematches greedily.
+
+Each freed endpoint either rematches or certifies all its neighbors are
+matched, so maximality is restored; the scan cost is recorded per update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamic.graph import DynamicGraph
+from repro.matching.matching import Matching
+
+
+class DynamicMaximalMatching:
+    """Deterministic dynamic maximal matching (2-approximate MCM).
+
+    Attributes
+    ----------
+    graph:
+        The live :class:`DynamicGraph`.
+    work_log:
+        Neighbor-scan operations per update (E10's baseline curve).
+    """
+
+    def __init__(self, num_vertices: int) -> None:
+        self.graph = DynamicGraph(num_vertices)
+        self._mate = np.full(num_vertices, -1, dtype=np.int64)
+        self.work_log: list[int] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def matching(self) -> Matching:
+        """The maintained maximal matching."""
+        return Matching(self._mate.copy())
+
+    def _try_rematch(self, v: int) -> int:
+        """Scan v's neighbors for a free partner; returns ops spent."""
+        ops = 0
+        for u in self.graph.neighbors(v):
+            ops += 1
+            if self._mate[u] == -1:
+                self._mate[v] = u
+                self._mate[u] = v
+                break
+        return max(1, ops)
+
+    # ------------------------------------------------------------------ #
+    def update(self, op: str, u: int, v: int) -> None:
+        """Apply one update, restoring maximality."""
+        self.graph.apply(op, u, v)
+        ops = 1
+        if op == "insert":
+            if self._mate[u] == -1 and self._mate[v] == -1:
+                self._mate[u], self._mate[v] = v, u
+        else:  # delete
+            if self._mate[u] == v:
+                self._mate[u] = -1
+                self._mate[v] = -1
+                ops += self._try_rematch(u)
+                if self._mate[v] == -1:
+                    ops += self._try_rematch(v)
+        self.work_log.append(ops)
+
+    def insert(self, u: int, v: int) -> None:
+        """Insert edge {u, v}."""
+        self.update("insert", u, v)
+
+    def delete(self, u: int, v: int) -> None:
+        """Delete edge {u, v}."""
+        self.update("delete", u, v)
+
+    def max_work_per_update(self) -> int:
+        """Maximum scan work in any single update."""
+        return max(self.work_log, default=0)

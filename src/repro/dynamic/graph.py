@@ -1,0 +1,149 @@
+"""The fully dynamic graph substrate.
+
+Standard model (Section 3.3): fixed vertex set, single-edge insertions
+and deletions.  Per-vertex adjacency is a dynamic array plus a position
+map, giving O(1) insert, O(1) delete (swap-with-last), O(1) degree, and
+O(1) uniform neighbor sampling — exactly the operations the dynamic
+sparsifier maintenance and the windowed rebuilds need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.graphs.builder import from_edges
+
+
+class DynamicGraph:
+    """A mutable undirected graph over a fixed vertex set ``0..n-1``.
+
+    All mutators are O(1); :meth:`snapshot` (O(n+m)) materializes the
+    current graph as an immutable :class:`AdjacencyArrayGraph` for
+    verification and exact-matching oracles in experiments.
+    """
+
+    __slots__ = ("_adj", "_pos", "_num_edges", "_non_isolated", "version")
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices < 0:
+            raise ValueError(f"num_vertices must be non-negative, got {num_vertices}")
+        self._adj: list[list[int]] = [[] for _ in range(num_vertices)]
+        self._pos: list[dict[int, int]] = [{} for _ in range(num_vertices)]
+        self._num_edges = 0
+        self._non_isolated: set[int] = set()
+        #: Monotone mutation counter; consumers (e.g. in-flight rebuilds)
+        #: use it to detect concurrent changes.
+        self.version = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def degree(self, v: int) -> int:
+        """Current degree of vertex ``v``."""
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge {u, v} is currently present."""
+        return v in self._pos[u]
+
+    def neighbors(self, v: int) -> list[int]:
+        """A copy of v's current neighbor list."""
+        return list(self._adj[v])
+
+    def neighbor_at(self, v: int, i: int) -> int:
+        """The i-th neighbor in the internal (mutation-dependent) order."""
+        return self._adj[v][i]
+
+    def sample_neighbors(
+        self, v: int, k: int, rng: np.random.Generator
+    ) -> list[int]:
+        """min(k, deg) distinct uniform random neighbors of v, O(k) time."""
+        deg = len(self._adj[v])
+        if deg == 0:
+            return []
+        if k >= deg:
+            return list(self._adj[v])
+        picks = rng.choice(deg, size=k, replace=False)
+        return [self._adj[v][int(i)] for i in picks]
+
+    # ------------------------------------------------------------------ #
+    def insert(self, u: int, v: int) -> None:
+        """Insert edge {u, v}.
+
+        Raises
+        ------
+        ValueError
+            On self-loops or if the edge already exists.
+        """
+        if u == v:
+            raise ValueError(f"self-loop ({u}, {v})")
+        if v in self._pos[u]:
+            raise ValueError(f"edge ({u}, {v}) already present")
+        for a, b in ((u, v), (v, u)):
+            self._pos[a][b] = len(self._adj[a])
+            self._adj[a].append(b)
+        self._non_isolated.add(u)
+        self._non_isolated.add(v)
+        self._num_edges += 1
+        self.version += 1
+
+    def delete(self, u: int, v: int) -> None:
+        """Delete edge {u, v} (swap-with-last, O(1)).
+
+        Raises
+        ------
+        ValueError
+            If the edge is not present.
+        """
+        if v not in self._pos[u]:
+            raise ValueError(f"edge ({u}, {v}) not present")
+        for a, b in ((u, v), (v, u)):
+            i = self._pos[a].pop(b)
+            last = self._adj[a][-1]
+            self._adj[a][i] = last
+            self._adj[a].pop()
+            if last != b:
+                self._pos[a][last] = i
+        for w in (u, v):
+            if not self._adj[w]:
+                self._non_isolated.discard(w)
+        self._num_edges -= 1
+        self.version += 1
+
+    def apply(self, op: str, u: int, v: int) -> None:
+        """Apply an ``("insert"|"delete", u, v)`` update."""
+        if op == "insert":
+            self.insert(u, v)
+        elif op == "delete":
+            self.delete(u, v)
+        else:
+            raise ValueError(f"unknown update op {op!r}")
+
+    # ------------------------------------------------------------------ #
+    def non_isolated_vertices(self) -> list[int]:
+        """Vertices with degree ≥ 1 (a copy; O(n') to produce).
+
+        The windowed rebuild samples only these, which is what makes its
+        total cost output-sensitive (Lemma 2.2: n' ≤ (β+2)·|MCM|).
+        """
+        return sorted(self._non_isolated)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate current edges once each as (u, v) with u < v."""
+        for u, nbrs in enumerate(self._adj):
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def snapshot(self) -> AdjacencyArrayGraph:
+        """Immutable copy of the current graph (O(n+m))."""
+        return from_edges(self.num_vertices, list(self.edges()))

@@ -1,0 +1,151 @@
+"""The oblivious-adversary dynamic matcher — §3.3's first route.
+
+Section 3.3 opens with the simple scheme that works against an
+*oblivious* adversary: maintain the sparsifier G_Δ itself under updates
+(resample the two touched endpoints, O(Δ) worst-case —
+:class:`~repro.dynamic.dynamic_sparsifier.DynamicSparsifier`), and run a
+dynamic (1+ε)-matching algorithm on top of it (the paper plugs in
+Peleg–Solomon [77]; we substitute the same Gupta–Peng windowed-rebuild
+engine used by Theorem 3.5, with the static rebuild reading the
+*maintained* sparsifier instead of resampling — that reuse of stale
+randomness is exactly why this variant is only oblivious-safe, the
+contrast Theorem 3.5 then removes).
+
+Update cost: O(Δ) sparsifier maintenance + a bounded number of rebuild
+chunks, all recorded in :attr:`work_log`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.delta import DeltaPolicy
+from repro.dynamic.dynamic_sparsifier import DynamicSparsifier
+from repro.instrument.rng import derive_rng
+from repro.matching.matching import Matching
+
+
+class ObliviousDynamicMatching:
+    """Dynamic (1+ε)-matching via a maintained sparsifier (oblivious only).
+
+    Parameters mirror :class:`~repro.dynamic.lazy_rebuild.LazyRebuildMatching`;
+    the difference is that rebuilds *read the maintained G_Δ* rather than
+    drawing fresh per-rebuild samples.
+
+    Attributes
+    ----------
+    sparsifier:
+        The incrementally maintained :class:`DynamicSparsifier`.
+    work_log:
+        Per-update work: sparsifier mark operations + rebuild steps.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        beta: int,
+        epsilon: float,
+        rng: int | np.random.Generator | None = None,
+        policy: DeltaPolicy | None = None,
+        chunk_edges: int = 256,
+    ) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+        self.beta = beta
+        self.epsilon = epsilon
+        pol = policy or DeltaPolicy.practical()
+        self.delta = pol.delta(beta, epsilon / 4.0, num_vertices)
+        self.sparsifier = DynamicSparsifier(
+            num_vertices, self.delta, rng=derive_rng(rng)
+        )
+        self._n = num_vertices
+        self._chunk_edges = chunk_edges
+        self._mate = np.full(num_vertices, -1, dtype=np.int64)
+        self._rebuild = None
+        self._budget = 1
+        self._last_cost = 1
+        self.work_log: list[int] = []
+        self.rebuilds_completed = 0
+        self._start_rebuild()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self):
+        """The live dynamic graph (owned by the sparsifier)."""
+        return self.sparsifier.graph
+
+    @property
+    def matching(self) -> Matching:
+        """The maintained matching."""
+        return Matching(self._mate.copy())
+
+    def _window(self) -> int:
+        size = int(np.count_nonzero(self._mate >= 0)) // 2
+        return 1 + int(math.floor((self.epsilon / 4.0) * size))
+
+    def _rebuild_generator(self):
+        """Greedy matching over the *maintained* sparsifier edge set,
+        chunked by edges scanned."""
+        mate = np.full(self._n, -1, dtype=np.int64)
+        scanned = 0
+        for u, v in sorted(self.sparsifier.edges()):
+            scanned += 1
+            if (mate[u] == -1 and mate[v] == -1
+                    and self.graph.has_edge(u, v)):
+                mate[u], mate[v] = v, u
+            if scanned % self._chunk_edges == 0:
+                yield 1
+        yield 1
+        return mate
+
+    def _start_rebuild(self) -> None:
+        self._rebuild = self._rebuild_generator()
+        self._cost = 0
+        self._budget = max(1, math.ceil(self._last_cost / self._window()))
+
+    def _pump(self) -> int:
+        consumed = 0
+        while consumed < self._budget:
+            try:
+                next(self._rebuild)
+                consumed += 1
+                self._cost += 1
+            except StopIteration as stop:
+                new_mate = np.asarray(stop.value, dtype=np.int64)
+                for v in np.flatnonzero(new_mate >= 0):
+                    v = int(v)
+                    u = int(new_mate[v])
+                    if v < u and not self.graph.has_edge(v, u):
+                        new_mate[v] = -1
+                        new_mate[u] = -1
+                self._mate = new_mate
+                self.rebuilds_completed += 1
+                self._last_cost = max(1, self._cost)
+                self._start_rebuild()
+                break
+        return consumed
+
+    # ------------------------------------------------------------------ #
+    def update(self, op: str, u: int, v: int) -> None:
+        """Apply one update: O(Δ) sparsifier maintenance + bounded rebuild."""
+        self.sparsifier.update(op, u, v)
+        spars_ops = self.sparsifier.work_log[-1]
+        if op == "delete" and self._mate[u] == v:
+            self._mate[u] = -1
+            self._mate[v] = -1
+        chunks = self._pump()
+        self.work_log.append(spars_ops + chunks)
+
+    def insert(self, u: int, v: int) -> None:
+        """Insert edge {u, v}."""
+        self.update("insert", u, v)
+
+    def delete(self, u: int, v: int) -> None:
+        """Delete edge {u, v}."""
+        self.update("delete", u, v)
+
+    def max_work_per_update(self) -> int:
+        """Worst per-update work units so far."""
+        return max(self.work_log, default=0)

@@ -1,0 +1,89 @@
+"""Matching stability — Lemma 3.4 (Gupta–Peng [44], Lemma 3.1).
+
+If M_i is a (1+ε)-approximate MCM of G_i and at most ⌊ε'·|M_i|⌋ updates
+follow, then M_i minus its deleted edges remains a (1+2ε+2ε')-approximate
+MCM of the current graph.  This is the deterministic glue that lets the
+dynamic algorithm re-use a matching across a whole time window, and the
+reason the adaptive adversary cannot hurt it (the guarantee does not
+depend on the adversary's knowledge of the algorithm's coins).
+
+:class:`StabilityTracker` is the executable form: it carries a matching
+through updates, prunes deletions, and reports the factor Lemma 3.4
+promises at each step; property tests check the promise against exact
+MCM recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.matching import Matching
+
+
+def stability_factor(epsilon: float, epsilon_prime: float) -> float:
+    """The Lemma 3.4 bound 1 + 2ε + 2ε' (valid for ε, ε' ≤ 1/2)."""
+    if not (0 <= epsilon <= 0.5 and 0 <= epsilon_prime <= 0.5):
+        raise ValueError("Lemma 3.4 requires epsilon, epsilon_prime in [0, 1/2]")
+    return 1.0 + 2.0 * epsilon + 2.0 * epsilon_prime
+
+
+class StabilityTracker:
+    """Carries a matching through an update window, per Lemma 3.4.
+
+    Parameters
+    ----------
+    matching:
+        M_i, a (1+ε)-approximate MCM of the graph at window start.
+    epsilon:
+        The ε for which ``matching`` was computed.
+
+    Notes
+    -----
+    Call :meth:`on_delete` for every edge deletion (insertions never
+    invalidate matched edges).  :meth:`guaranteed_factor` returns the
+    factor Lemma 3.4 certifies after the updates seen so far, taking
+    ε' = updates_seen / |M_i|.
+    """
+
+    def __init__(self, matching: Matching, epsilon: float) -> None:
+        self.mate = matching.mate.copy()
+        self.epsilon = epsilon
+        self.initial_size = matching.size
+        self.updates_seen = 0
+
+    def on_insert(self, u: int, v: int) -> None:
+        """Record an insertion (keeps the matching as-is)."""
+        self.updates_seen += 1
+
+    def on_delete(self, u: int, v: int) -> None:
+        """Record a deletion; drop the edge from the matching if matched."""
+        self.updates_seen += 1
+        if 0 <= u < self.mate.size and self.mate[u] == v:
+            self.mate[u] = -1
+            self.mate[v] = -1
+
+    @property
+    def matching(self) -> Matching:
+        """The carried matching M_i^{(j)} (deleted edges pruned)."""
+        return Matching(self.mate.copy())
+
+    def epsilon_prime(self) -> float:
+        """ε' = updates seen / |M_i| (the lemma's window fraction)."""
+        if self.initial_size == 0:
+            return 0.0 if self.updates_seen == 0 else float("inf")
+        return self.updates_seen / self.initial_size
+
+    def guaranteed_factor(self) -> float:
+        """The approximation factor Lemma 3.4 certifies right now.
+
+        Returns ``inf`` once the window fraction exceeds 1/2 (the lemma's
+        validity range) — the signal that a rebuild is overdue.
+        """
+        ep = self.epsilon_prime()
+        if ep > 0.5 or self.epsilon > 0.5:
+            return float("inf")
+        return stability_factor(self.epsilon, ep)
+
+    def within_window(self, epsilon_prime: float) -> bool:
+        """Whether fewer than ⌊ε'·|M_i|⌋ + 1 updates have been seen."""
+        return self.updates_seen <= int(np.floor(epsilon_prime * self.initial_size))

@@ -1,0 +1,52 @@
+"""Experiment harnesses E1–E12 (DESIGN.md §5).
+
+The paper is purely theoretical — it has no tables or figures — so the
+reproduction targets are its quantitative claims.  Each ``eN_*`` module
+exposes ``run(**params) -> Table`` producing the paper-vs-measured table
+for one claim; the ``benchmarks/bench_eN_*.py`` files time the hot
+operations with pytest-benchmark and print these tables, and
+``repro-experiments eN`` regenerates any of them from the command line.
+"""
+
+from repro.experiments.tables import Table
+from repro.experiments import (
+    e1_quality,
+    e2_size_bound,
+    e3_arboricity,
+    e4_mcm_lower_bound,
+    e5_deterministic_lb,
+    e6_exactness_lb,
+    e7_sequential,
+    e8_distributed,
+    e9_messages,
+    e10_dynamic,
+    e11_ablations,
+    e12_output_sensitive,
+    e13_streaming,
+    e14_mpc,
+    e15_dynamic_distributed,
+    e16_scale,
+    e17_adaptive_separation,
+)
+
+REGISTRY = {
+    "e1": e1_quality.run,
+    "e2": e2_size_bound.run,
+    "e3": e3_arboricity.run,
+    "e4": e4_mcm_lower_bound.run,
+    "e5": e5_deterministic_lb.run,
+    "e6": e6_exactness_lb.run,
+    "e7": e7_sequential.run,
+    "e8": e8_distributed.run,
+    "e9": e9_messages.run,
+    "e10": e10_dynamic.run,
+    "e11": e11_ablations.run,
+    "e12": e12_output_sensitive.run,
+    "e13": e13_streaming.run,
+    "e14": e14_mpc.run,
+    "e15": e15_dynamic_distributed.run,
+    "e16": e16_scale.run,
+    "e17": e17_adaptive_separation.run,
+}
+
+__all__ = ["REGISTRY", "Table"]

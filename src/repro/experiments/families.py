@@ -1,0 +1,64 @@
+"""Shared workload definitions for the experiments.
+
+A *family* bundles a generator with its certified neighborhood
+independence number β (known from the construction; spot-checked exactly
+in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.graphs.generators import (
+    bounded_diversity_graph,
+    claw_free_complement,
+    clique_union,
+    random_line_graph,
+    unit_disk_graph,
+)
+
+
+@dataclass(frozen=True)
+class Family:
+    """A named workload with its β certificate."""
+
+    name: str
+    beta: int
+    build: Callable[[int], AdjacencyArrayGraph]  # seed -> graph
+
+
+def standard_families(scale: int = 1) -> list[Family]:
+    """The four bounded-β families used across experiments.
+
+    ``scale`` multiplies instance sizes (1 = quick; 2–3 = thorough).
+    """
+    s = scale
+    return [
+        Family(
+            "clique-union(β=1)",
+            1,
+            lambda seed, s=s: clique_union(4 * s, 60),
+        ),
+        Family(
+            "line-graph(β≤2)",
+            2,
+            lambda seed, s=s: random_line_graph(24 * s, 0.6, rng=seed),
+        ),
+        Family(
+            "unit-disk(β≤5)",
+            5,
+            lambda seed, s=s: unit_disk_graph(250 * s, 3.0, rng=seed)[0],
+        ),
+        Family(
+            "diversity(β≤3)",
+            3,
+            lambda seed, s=s: bounded_diversity_graph(16 * s, 20, 3, rng=seed),
+        ),
+        Family(
+            "claw-free(β≤2)",
+            2,
+            lambda seed, s=s: claw_free_complement(120 * s, rng=seed),
+        ),
+    ]

@@ -1,0 +1,98 @@
+"""Statistical helpers for the experiment harnesses.
+
+Theorem 2.1 is a *with-high-probability* statement; single-run tables
+can only spot-check it.  :func:`wilson_interval` turns k-successes-of-n
+trials into a confidence interval on the true success probability, and
+:func:`replicate_quality` runs the sparsifier many times to report the
+estimated failure rate with that interval — the statistically honest
+form of experiment E1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sparsifier import build_sparsifier
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.instrument.rng import derive_rng
+from repro.matching.blossom import mcm_exact
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation near 0/1 — exactly where
+    whp-style claims live.
+
+    Returns
+    -------
+    (low, high):
+        The confidence bounds; (0.0, 1.0) when ``trials`` is 0.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("need 0 <= successes <= trials")
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(
+        p * (1 - p) / trials + z * z / (4 * trials * trials)
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+@dataclass(frozen=True)
+class QualityReplication:
+    """Outcome of a multi-trial sparsifier quality replication.
+
+    Attributes
+    ----------
+    trials, successes:
+        Trials run and trials achieving ratio ≤ 1+ε.
+    worst_ratio:
+        Worst observed ratio across trials.
+    confidence_low, confidence_high:
+        Wilson 95% interval on the true success probability.
+    """
+
+    trials: int
+    successes: int
+    worst_ratio: float
+    confidence_low: float
+    confidence_high: float
+
+
+def replicate_quality(
+    graph: AdjacencyArrayGraph,
+    delta: int,
+    epsilon: float,
+    trials: int,
+    rng: int | np.random.Generator | None = None,
+) -> QualityReplication:
+    """Estimate P[G_Δ is a (1+ε)-sparsifier] with a Wilson interval."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    gen = derive_rng(rng)
+    opt = mcm_exact(graph).size
+    successes = 0
+    worst = 1.0
+    for _ in range(trials):
+        res = build_sparsifier(graph, delta, rng=gen.spawn(1)[0],
+                               sampler="vectorized")
+        got = mcm_exact(res.subgraph).size
+        ratio = opt / got if got else float("inf")
+        worst = max(worst, ratio)
+        if ratio <= 1.0 + epsilon:
+            successes += 1
+    low, high = wilson_interval(successes, trials)
+    return QualityReplication(
+        trials=trials,
+        successes=successes,
+        worst_ratio=worst,
+        confidence_low=low,
+        confidence_high=high,
+    )

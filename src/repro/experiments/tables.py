@@ -1,0 +1,87 @@
+"""Minimal fixed-width table rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass
+class Table:
+    """A titled table of experiment results.
+
+    Attributes
+    ----------
+    title:
+        Table caption (includes the paper claim it reproduces).
+    headers:
+        Column names.
+    rows:
+        Row values; rendered via ``str`` with floats shown to 4 sig figs.
+    notes:
+        Free-text footnotes (e.g. the paper-predicted values).
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row (must match the header count)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(list(values))
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, (bool, np.bool_)):
+            return "yes" if value else "no"
+        if isinstance(value, (np.integer,)):
+            return str(int(value))
+        if isinstance(value, np.floating):
+            value = float(value)
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if value == float("inf"):
+                return "inf"
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        """Render to an aligned plain-text block."""
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavored Markdown table."""
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in cells:
+            lines.append("| " + " | ".join(row) + " |")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,47 @@
+"""Graph substrate: adjacency-array graphs, structural parameters, generators.
+
+The paper's sublinear-time results are stated in the *adjacency array*
+model (Section 3.1): the algorithm has O(1) access to ``deg(v)`` and to the
+``i``-th neighbor of ``v``, and read-only access otherwise.
+:class:`~repro.graphs.adjacency.AdjacencyArrayGraph` implements exactly
+that model, with an optional probe counter so experiments can certify
+sublinearity.
+"""
+
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.graphs.builder import (
+    from_edges,
+    from_networkx,
+    to_networkx,
+    validate_edge_list,
+)
+from repro.graphs.neighborhood import (
+    neighborhood_independence_exact,
+    neighborhood_independence_greedy,
+    neighborhood_independence_sampled,
+    neighborhood_independence_upper,
+)
+from repro.graphs.arboricity import (
+    arboricity_exact_small,
+    arboricity_lower_bound,
+    arboricity_upper_bound,
+    degeneracy,
+)
+from repro.graphs.sparse_array import SparseArray
+
+__all__ = [
+    "AdjacencyArrayGraph",
+    "SparseArray",
+    "arboricity_exact_small",
+    "arboricity_lower_bound",
+    "arboricity_upper_bound",
+    "degeneracy",
+    "from_edges",
+    "from_networkx",
+    "neighborhood_independence_exact",
+    "neighborhood_independence_greedy",
+    "neighborhood_independence_sampled",
+    "neighborhood_independence_upper",
+    "to_networkx",
+    "validate_edge_list",
+]

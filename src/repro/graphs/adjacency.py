@@ -1,0 +1,161 @@
+"""Read-only adjacency-array graphs — the paper's sublinear data model.
+
+The graph is stored in CSR form: ``indptr`` of length ``n + 1`` and
+``indices`` of length ``2m``; the neighbors of ``v`` occupy
+``indices[indptr[v]:indptr[v + 1]]`` in arbitrary order.  The public
+accessors mirror the operations the model grants in O(1):
+
+* :meth:`AdjacencyArrayGraph.degree`
+* :meth:`AdjacencyArrayGraph.neighbor` (the *i*-th neighbor of *v*)
+
+Both optionally charge a :class:`~repro.instrument.counters.Counter`, so an
+experiment can certify that an algorithm made o(m) probes (Theorem 3.1 and
+the E7/E9 experiments).  Bulk *whole-graph* accessors (``edges``,
+``neighbors_array``) exist for algorithms that are allowed to read
+everything (e.g. exact matching on the sparsifier) and are deliberately
+**not** probe-counted — they would be cheating if used by a sublinear
+algorithm, and tests assert the sequential pipeline never calls them on
+the input graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.instrument.counters import Counter
+
+
+class AdjacencyArrayGraph:
+    """An immutable undirected graph over vertices ``0..n-1`` in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; monotone, ``indptr[0] == 0``.
+    indices:
+        ``int64`` array of length ``indptr[-1]``; neighbor lists.  Each
+        undirected edge {u, v} appears twice: once in u's list and once in
+        v's list.
+    probe_counter:
+        Optional counter charged one unit per ``degree``/``neighbor`` call.
+
+    Notes
+    -----
+    Construct via :func:`repro.graphs.builder.from_edges` rather than
+    directly; the builder validates symmetry, sorts neighbor lists, and
+    rejects self-loops and multi-edges.
+    """
+
+    __slots__ = ("indptr", "indices", "probe_counter", "_n", "_m")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        probe_counter: Counter | None = None,
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D arrays")
+        if indptr.size == 0 or indptr[0] != 0:
+            raise ValueError("indptr must start with 0 and be non-empty")
+        if indptr[-1] != indices.size:
+            raise ValueError(
+                f"indptr[-1] ({indptr[-1]}) must equal len(indices) ({indices.size})"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        self.indptr = indptr
+        self.indices = indices
+        self.probe_counter = probe_counter
+        self._n = indptr.size - 1
+        self._m = indices.size // 2
+
+    # ------------------------------------------------------------------ #
+    # O(1) model accessors (probe-counted)                               #
+    # ------------------------------------------------------------------ #
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``; one probe."""
+        if self.probe_counter is not None:
+            self.probe_counter.increment()
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def neighbor(self, v: int, i: int) -> int:
+        """The ``i``-th neighbor of ``v`` (0-based); one probe.
+
+        Raises
+        ------
+        IndexError
+            If ``i`` is outside ``[0, deg(v))``.
+        """
+        start = self.indptr[v]
+        end = self.indptr[v + 1]
+        if not 0 <= i < end - start:
+            raise IndexError(f"neighbor index {i} out of range for vertex {v}")
+        if self.probe_counter is not None:
+            self.probe_counter.increment()
+        return int(self.indices[start + i])
+
+    # ------------------------------------------------------------------ #
+    # Bulk accessors (NOT probe-counted; see module docstring)           #
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._m
+
+    def degrees(self) -> np.ndarray:
+        """All vertex degrees as an array (bulk; not probe-counted)."""
+        return np.diff(self.indptr)
+
+    def neighbors_array(self, v: int) -> np.ndarray:
+        """A view of ``v``'s neighbor list (bulk; do not mutate)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate each undirected edge once as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            for w in self.indices[self.indptr[u] : self.indptr[u + 1]]:
+                if u < w:
+                    yield (u, int(w))
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array with ``u < v`` per row (bulk)."""
+        if self._m == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        src = np.repeat(np.arange(self._n, dtype=np.int64), np.diff(self.indptr))
+        mask = src < self.indices
+        return np.column_stack((src[mask], self.indices[mask]))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test via binary search (neighbor lists are sorted)."""
+        if u == v:
+            return False
+        row = self.indices[self.indptr[u] : self.indptr[u + 1]]
+        pos = int(np.searchsorted(row, v))
+        return pos < row.size and row[pos] == v
+
+    def max_degree(self) -> int:
+        """Maximum degree (bulk)."""
+        if self._n == 0:
+            return 0
+        return int(np.diff(self.indptr).max(initial=0))
+
+    def non_isolated_count(self) -> int:
+        """Number of vertices with degree ≥ 1 (the paper's ``n'``)."""
+        return int(np.count_nonzero(np.diff(self.indptr)))
+
+    def with_probe_counter(self, counter: Counter | None) -> "AdjacencyArrayGraph":
+        """A view of the same graph charged to ``counter``."""
+        return AdjacencyArrayGraph(self.indptr, self.indices, counter)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdjacencyArrayGraph(n={self._n}, m={self._m})"

@@ -1,0 +1,50 @@
+"""Workload generators: bounded-β graph families and adversarial instances.
+
+Every generator returns an :class:`~repro.graphs.adjacency.AdjacencyArrayGraph`
+(plus family-specific metadata where useful) and documents the
+neighborhood-independence number β it guarantees.  These are the workloads
+behind all experiments E1–E12.
+"""
+
+from repro.graphs.generators.cliques import (
+    clique,
+    clique_minus_edge,
+    clique_union,
+    overlapping_cliques,
+    two_cliques_with_bridge,
+)
+from repro.graphs.generators.line_graphs import line_graph, random_line_graph
+from repro.graphs.generators.geometric import (
+    quasi_unit_disk_graph,
+    unit_disk_graph,
+)
+from repro.graphs.generators.growth import (
+    bounded_diversity_graph,
+    grid_power_graph,
+    interval_graph,
+)
+from repro.graphs.generators.random_families import (
+    beta_controlled_graph,
+    claw_free_complement,
+    erdos_renyi,
+    random_bipartite,
+)
+
+__all__ = [
+    "beta_controlled_graph",
+    "bounded_diversity_graph",
+    "claw_free_complement",
+    "clique",
+    "clique_minus_edge",
+    "clique_union",
+    "erdos_renyi",
+    "grid_power_graph",
+    "interval_graph",
+    "line_graph",
+    "overlapping_cliques",
+    "quasi_unit_disk_graph",
+    "random_bipartite",
+    "random_line_graph",
+    "two_cliques_with_bridge",
+    "unit_disk_graph",
+]

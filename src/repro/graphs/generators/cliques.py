@@ -1,0 +1,109 @@
+"""Clique-based families: the paper's canonical dense bounded-β instances.
+
+The n-clique has Θ(n²) edges and β = 1 (Section 1.1), making clique unions
+the sharpest testbed for sublinearity.  Two instances here are lifted
+straight from the paper's lower-bound arguments:
+
+* :func:`clique_minus_edge` — the family 𝒢_n of Lemma 2.13 (deterministic
+  sparsifiers fail);
+* :func:`two_cliques_with_bridge` — the instance of Observation 2.14
+  (exact MCM preservation needs Δ = Ω(n)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.graphs.builder import from_edges
+
+
+def clique(n: int) -> AdjacencyArrayGraph:
+    """The complete graph K_n; β(K_n) = 1 for n ≥ 2.
+
+    |MCM| = ⌊n/2⌋.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    idx = np.arange(n, dtype=np.int64)
+    u, v = np.meshgrid(idx, idx, indexing="ij")
+    mask = u < v
+    return from_edges(n, np.column_stack((u[mask], v[mask])))
+
+
+def clique_minus_edge(n: int, missing: tuple[int, int] = (0, 1)) -> AdjacencyArrayGraph:
+    """K_n with one edge removed — a member of 𝒢_n from Lemma 2.13.
+
+    β = 2 (the two endpoints of the missing edge are independent inside a
+    common neighborhood); |MCM| = ⌊n/2⌋ for n ≥ 4.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    a, b = missing
+    if a == b or not (0 <= a < n and 0 <= b < n):
+        raise ValueError(f"invalid missing edge {missing}")
+    g = clique(n)
+    edges = g.edge_array()
+    lo, hi = min(a, b), max(a, b)
+    keep = ~((edges[:, 0] == lo) & (edges[:, 1] == hi))
+    return from_edges(n, edges[keep])
+
+
+def clique_union(num_cliques: int, clique_size: int) -> AdjacencyArrayGraph:
+    """Disjoint union of ``num_cliques`` copies of K_{clique_size}.
+
+    β = 1; n = num_cliques·clique_size; m = num_cliques·C(clique_size, 2);
+    |MCM| = num_cliques·⌊clique_size/2⌋.  The go-to dense family for the
+    sublinearity experiments (m grows quadratically in clique_size while
+    the sparsifier stays near-linear in n).
+    """
+    if num_cliques < 0 or clique_size < 0:
+        raise ValueError("num_cliques and clique_size must be non-negative")
+    edges: list[tuple[int, int]] = []
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+    return from_edges(num_cliques * clique_size, edges)
+
+
+def two_cliques_with_bridge(half: int) -> AdjacencyArrayGraph:
+    """Two odd cliques K_half joined by a single bridge (Obs 2.14).
+
+    ``half`` must be odd.  n = 2·half; the unique MCM structure must use
+    the bridge (vertex 0 — vertex half), so |MCM| = half exactly and any
+    matching avoiding the bridge has size half − 1.
+    """
+    if half < 1 or half % 2 == 0:
+        raise ValueError(f"half must be a positive odd integer, got {half}")
+    edges: list[tuple[int, int]] = []
+    for base in (0, half):
+        for i in range(half):
+            for j in range(i + 1, half):
+                edges.append((base + i, base + j))
+    edges.append((0, half))
+    return from_edges(2 * half, edges)
+
+
+def overlapping_cliques(
+    num_cliques: int, clique_size: int, overlap: int
+) -> AdjacencyArrayGraph:
+    """A chain of cliques where consecutive cliques share ``overlap`` vertices.
+
+    β ≤ 2 (every neighborhood is covered by at most two cliques).  Gives
+    connected dense instances with non-trivial matching structure.
+    """
+    if overlap < 0 or overlap >= clique_size:
+        raise ValueError("overlap must satisfy 0 <= overlap < clique_size")
+    if num_cliques < 1:
+        raise ValueError("num_cliques must be positive")
+    stride = clique_size - overlap
+    n = clique_size + (num_cliques - 1) * stride
+    edges: list[tuple[int, int]] = []
+    for c in range(num_cliques):
+        base = c * stride
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+    return from_edges(n, edges)

@@ -1,0 +1,13 @@
+"""Instrumentation: counters, deterministic RNG plumbing, and timers.
+
+Every quantitative claim in the paper is either a *count* (probes,
+messages, rounds, work units) or a *ratio* (approximation factors).  This
+package provides the shared counting and randomness infrastructure so that
+experiments are reproducible bit-for-bit given a seed.
+"""
+
+from repro.instrument.counters import Counter, CounterSet
+from repro.instrument.rng import derive_rng, spawn_rngs
+from repro.instrument.timers import Timer
+
+__all__ = ["Counter", "CounterSet", "Timer", "derive_rng", "spawn_rngs"]

@@ -1,0 +1,89 @@
+"""Operation counters used to certify asymptotic claims empirically.
+
+The paper's sequential result (Theorem 3.1) is a statement about the number
+of *adjacency-array probes*, the distributed results (Theorems 3.2/3.3)
+about *rounds and messages*, and the dynamic result (Theorem 3.5) about
+*work units per update*.  All of these are measured with :class:`Counter`
+objects rather than wall-clock time, because Python-level constant factors
+would otherwise drown the asymptotics the paper is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A named monotone event counter.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, used when rendering experiment tables.
+
+    Examples
+    --------
+    >>> c = Counter("probes")
+    >>> c.add(3); c.increment(); c.value
+    4
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self) -> None:
+        """Add one event."""
+        self.value += 1
+
+    def add(self, amount: int) -> None:
+        """Add ``amount`` events.
+
+        Raises
+        ------
+        ValueError
+            If ``amount`` is negative; counters are monotone.
+        """
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter (used between experiment trials)."""
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+@dataclass
+class CounterSet:
+    """A named bundle of counters with lazy creation.
+
+    Used by the distributed simulator (rounds / messages / bits) and the
+    dynamic algorithms (work units, rebuilds) so each subsystem can expose
+    a single metrics object.
+    """
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def value(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never touched)."""
+        counter = self.counters.get(name)
+        return 0 if counter is None else counter.value
+
+    def reset(self) -> None:
+        """Reset every counter in the set."""
+        for counter in self.counters.values():
+            counter.reset()
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of all current counter values."""
+        return {name: counter.value for name, counter in self.counters.items()}

@@ -1,0 +1,101 @@
+"""Persistence: graphs to ``.npz``, matchings and tables to JSON/CSV.
+
+Experiment campaigns want reusable workloads and machine-readable
+results; this module provides the (deliberately boring) serialization
+layer.  Graphs round-trip through their CSR arrays; matchings through
+their mate arrays; tables to JSON (full fidelity) or CSV (spreadsheet
+fodder).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.tables import Table
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.matching.matching import Matching
+
+
+def save_graph(path: str | Path, graph: AdjacencyArrayGraph) -> None:
+    """Write a graph's CSR arrays to ``path`` (``.npz``)."""
+    np.savez_compressed(path, indptr=graph.indptr, indices=graph.indices)
+
+
+def load_graph(path: str | Path) -> AdjacencyArrayGraph:
+    """Read a graph written by :func:`save_graph`.
+
+    Raises
+    ------
+    ValueError
+        If the file lacks the expected arrays or they are inconsistent
+        (validation is re-run by the constructor).
+    """
+    with np.load(path) as data:
+        if "indptr" not in data or "indices" not in data:
+            raise ValueError(f"{path} is not a saved graph (missing arrays)")
+        return AdjacencyArrayGraph(data["indptr"], data["indices"])
+
+
+def save_matching(path: str | Path, matching: Matching) -> None:
+    """Write a matching's mate array to ``path`` (``.npz``)."""
+    np.savez_compressed(path, mate=matching.mate)
+
+
+def load_matching(path: str | Path) -> Matching:
+    """Read a matching written by :func:`save_matching`."""
+    with np.load(path) as data:
+        if "mate" not in data:
+            raise ValueError(f"{path} is not a saved matching")
+        return Matching(data["mate"])
+
+
+def _jsonable(value):
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def table_to_json(table: Table) -> str:
+    """Serialize a result table to a JSON document."""
+    return json.dumps(
+        {
+            "title": table.title,
+            "headers": table.headers,
+            "rows": [[_jsonable(v) for v in row] for row in table.rows],
+            "notes": table.notes,
+        },
+        indent=2,
+    )
+
+
+def table_from_json(document: str) -> Table:
+    """Reconstruct a :class:`Table` from :func:`table_to_json` output."""
+    data = json.loads(document)
+    table = Table(title=data["title"], headers=data["headers"],
+                  notes=data.get("notes", []))
+    for row in data["rows"]:
+        table.add_row(*row)
+    return table
+
+
+def save_table(path: str | Path, table: Table) -> None:
+    """Write a table to ``path``: ``.json`` or ``.csv`` by suffix."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(table_to_json(table))
+    elif path.suffix == ".csv":
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.headers)
+            for row in table.rows:
+                writer.writerow([_jsonable(v) for v in row])
+    else:
+        raise ValueError(f"unsupported table format: {path.suffix!r}")

@@ -1,0 +1,30 @@
+"""Matching algorithms: containers, greedy, Hopcroft–Karp, blossom, (1+ε).
+
+All matchers operate on :class:`~repro.graphs.adjacency.AdjacencyArrayGraph`
+and return a :class:`~repro.matching.matching.Matching`.  ``mcm_exact``
+(the blossom algorithm) is the ground truth every approximation experiment
+is measured against; it is itself validated against NetworkX in tests.
+"""
+
+from repro.matching.matching import Matching
+from repro.matching.greedy import greedy_maximal_matching
+from repro.matching.hopcroft_karp import bipartition, hopcroft_karp
+from repro.matching.blossom import mcm_exact
+from repro.matching.approx import mcm_approx
+from repro.matching.gallai_edmonds import (
+    GallaiEdmonds,
+    gallai_edmonds_decomposition,
+    is_maximum_matching,
+)
+
+__all__ = [
+    "GallaiEdmonds",
+    "Matching",
+    "bipartition",
+    "gallai_edmonds_decomposition",
+    "greedy_maximal_matching",
+    "hopcroft_karp",
+    "is_maximum_matching",
+    "mcm_approx",
+    "mcm_exact",
+]

@@ -1,0 +1,172 @@
+"""Gallai–Edmonds structure and maximum-matching certification.
+
+Two classical tools layered on the blossom machinery:
+
+* :func:`is_maximum_matching` — a Berge certificate: a matching is
+  maximum iff no augmenting path exists, which one sweep of blossom
+  searches from the free vertices decides.  Used by tests and by the
+  dynamic experiments to validate oracles without trusting the matcher
+  under test.
+
+* :func:`gallai_edmonds_decomposition` — the canonical partition
+  (D, A, C):
+
+  - **D(G)**: vertices missed by *some* maximum matching (equivalently,
+    reachable from a free vertex by an even alternating path);
+  - **A(G)** = N(D) \\ D;
+  - **C(G)**: everything else.
+
+  We compute D by the defining deletion property — v ∈ D iff
+  |MCM(G − v)| = |MCM(G)| — with the warm-start trick making each test a
+  single augmenting-path search: remove v from a fixed maximum matching
+  M and check whether v's mate can be re-saturated.  This is exact and
+  O(n) searches total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.matching.blossom import _BlossomSearch, mcm_exact
+from repro.matching.matching import Matching
+
+
+def is_maximum_matching(graph: AdjacencyArrayGraph, matching: Matching) -> bool:
+    """Berge certificate: True iff ``matching`` is a maximum matching.
+
+    Runs one blossom search from each free vertex on a scratch copy; the
+    matching is maximum iff none finds an augmenting path.
+
+    Raises
+    ------
+    ValueError
+        If the matching is not valid for ``graph``.
+    """
+    if not matching.is_valid_for(graph):
+        raise ValueError("matching is not valid for this graph")
+    mate = matching.mate.copy()
+    search = _BlossomSearch(graph, mate)
+    for root in np.flatnonzero(mate < 0):
+        if search.find_augmenting_path(int(root)) != -1:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class GallaiEdmonds:
+    """The Gallai–Edmonds partition of a graph.
+
+    Attributes
+    ----------
+    d, a, c:
+        Sorted vertex tuples for D(G), A(G), C(G).
+    mcm_size:
+        |MCM(G)|, computed along the way.
+    """
+
+    d: tuple[int, ...]
+    a: tuple[int, ...]
+    c: tuple[int, ...]
+    mcm_size: int
+
+
+def _saturable_without(graph: AdjacencyArrayGraph, mate: np.ndarray, v: int) -> bool:
+    """With v forcibly removed from the matching, can its old mate be
+    re-saturated without v?  (Decides |MCM(G−v)| = |MCM(G)|.)
+
+    Precondition: ``mate`` encodes a maximum matching and mate[v] != -1.
+    We unmatch (v, mate[v]), hide v by clearing its adjacency influence
+    (the search simply never visits v because we root at mate[v] and
+    forbid v), and look for an augmenting path.
+    """
+    partner = int(mate[v])
+    scratch = mate.copy()
+    scratch[v] = -1
+    scratch[partner] = -1
+    # Hide v: search on the same graph but reject any path through v by
+    # pre-marking v as its own blossom base inside a forbidden state —
+    # simplest correct approach: build the search and monkey-block v by
+    # setting it "in tree" so it is never adopted, and ensuring no edge
+    # scans originate from it (it is never enqueued).
+    search = _BlossomSearch(graph, scratch)
+    end = _search_avoiding(search, partner, forbidden=v)
+    return end != -1
+
+
+def _search_avoiding(search: _BlossomSearch, root: int, forbidden: int) -> int:
+    """A blossom search from ``root`` that never touches ``forbidden``.
+
+    Mirrors :meth:`_BlossomSearch.find_augmenting_path` with one extra
+    guard; kept here so the core search stays unburdened.
+    """
+    from collections import deque
+
+    s = search
+    s.parent.fill(-1)
+    s.base = np.arange(s.n, dtype=np.int64)
+    s.in_tree.fill(False)
+    s.in_tree[root] = True
+    queue: deque[int] = deque([root])
+    while queue:
+        v = queue.popleft()
+        for to in s.graph.neighbors_array(v):
+            to = int(to)
+            if to == forbidden:
+                continue
+            if int(s.base[v]) == int(s.base[to]) or int(s.mate[v]) == to:
+                continue
+            if to == root or (
+                s.mate[to] != -1 and s.parent[s.mate[to]] != -1
+            ):
+                blossom_base = s._lca(v, to)
+                s.in_blossom.fill(False)
+                s._mark_path(v, blossom_base, to)
+                s._mark_path(to, blossom_base, v)
+                for i in range(s.n):
+                    if s.in_blossom[s.base[i]]:
+                        s.base[i] = blossom_base
+                        if not s.in_tree[i]:
+                            s.in_tree[i] = True
+                            queue.append(i)
+            elif s.parent[to] == -1:
+                s.parent[to] = v
+                if s.mate[to] == -1:
+                    return to
+                nxt = int(s.mate[to])
+                s.in_tree[nxt] = True
+                queue.append(nxt)
+    return -1
+
+
+def gallai_edmonds_decomposition(graph: AdjacencyArrayGraph) -> GallaiEdmonds:
+    """Compute the Gallai–Edmonds partition (D, A, C) of ``graph``.
+
+    See the module docstring for the method.  Exactness is validated in
+    tests against the brute-force definition
+    (v ∈ D ⇔ |MCM(G − v)| = |MCM(G)|) and against known structures
+    (odd cycles, factor-critical blocks, bipartite graphs via König).
+    """
+    n = graph.num_vertices
+    maximum = mcm_exact(graph)
+    mate = maximum.mate
+    in_d = np.zeros(n, dtype=bool)
+    # Free vertices are missed by this maximum matching: in D by definition.
+    in_d[mate < 0] = True
+    for v in range(n):
+        if mate[v] >= 0 and _saturable_without(graph, mate, v):
+            in_d[v] = True
+    in_a = np.zeros(n, dtype=bool)
+    for v in np.flatnonzero(in_d):
+        for u in graph.neighbors_array(int(v)):
+            if not in_d[u]:
+                in_a[u] = True
+    in_c = ~(in_d | in_a)
+    return GallaiEdmonds(
+        d=tuple(int(v) for v in np.flatnonzero(in_d)),
+        a=tuple(int(v) for v in np.flatnonzero(in_a)),
+        c=tuple(int(v) for v in np.flatnonzero(in_c)),
+        mcm_size=maximum.size,
+    )

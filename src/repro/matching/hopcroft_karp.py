@@ -1,0 +1,107 @@
+"""Hopcroft–Karp exact maximum matching for bipartite graphs [51].
+
+The paper's sequential application cites Hopcroft–Karp as one of the
+standard (1+ε)-matchers; we implement the exact bipartite version (with
+automatic bipartition detection) both as a fast exact oracle on bipartite
+workloads and as a cross-check for the general blossom matcher.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import deque
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.matching.matching import Matching
+
+_INF = np.iinfo(np.int64).max
+
+
+def bipartition(graph: AdjacencyArrayGraph) -> tuple[np.ndarray, np.ndarray]:
+    """2-color ``graph``; returns (left_vertices, right_vertices).
+
+    Isolated vertices are assigned to the left side.
+
+    Raises
+    ------
+    ValueError
+        If the graph contains an odd cycle (not bipartite).
+    """
+    n = graph.num_vertices
+    color = np.full(n, -1, dtype=np.int8)
+    for root in range(n):
+        if color[root] != -1:
+            continue
+        color[root] = 0
+        queue = deque([root])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors_array(v):
+                u = int(u)
+                if color[u] == -1:
+                    color[u] = 1 - color[v]
+                    queue.append(u)
+                elif color[u] == color[v]:
+                    raise ValueError("graph is not bipartite (odd cycle found)")
+    return np.flatnonzero(color == 0), np.flatnonzero(color == 1)
+
+
+def hopcroft_karp(graph: AdjacencyArrayGraph) -> Matching:
+    """Exact MCM for a bipartite graph in O(m·√n).
+
+    Phases of BFS layering + DFS augmentation along a maximal set of
+    vertex-disjoint shortest augmenting paths; the classic analysis shows
+    O(√n) phases suffice — also the template for the paper's (1+ε) phase
+    argument (stop after ⌈1/ε⌉ phases).
+
+    Raises
+    ------
+    ValueError
+        If the graph is not bipartite.
+    """
+    left, _ = bipartition(graph)
+    n = graph.num_vertices
+    # Augmenting paths can be Θ(n) long; the recursive DFS needs headroom.
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 4 * n + 1000))
+    mate = np.full(n, -1, dtype=np.int64)
+    dist = np.full(n, _INF, dtype=np.int64)
+    left_list = [int(v) for v in left]
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for v in left_list:
+            if mate[v] == -1:
+                dist[v] = 0
+                queue.append(v)
+            else:
+                dist[v] = _INF
+        found_free_right = False
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors_array(v):
+                u = int(u)
+                w = mate[u]
+                if w == -1:
+                    found_free_right = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[v] + 1
+                    queue.append(w)
+        return found_free_right
+
+    def dfs(v: int) -> bool:
+        for u in graph.neighbors_array(v):
+            u = int(u)
+            w = int(mate[u])
+            if w == -1 or (dist[w] == dist[v] + 1 and dfs(w)):
+                mate[v], mate[u] = u, v
+                return True
+        dist[v] = _INF
+        return False
+
+    while bfs():
+        for v in left_list:
+            if mate[v] == -1:
+                dfs(v)
+    return Matching(mate)

@@ -1,0 +1,139 @@
+"""The :class:`Matching` container and validity/maximality verification.
+
+A matching is stored as a mate array: ``mate[v]`` is v's partner or −1.
+The container is the lingua franca between the matchers, the sparsifier
+experiments (which compare matching sizes), and the dynamic algorithms
+(which mutate matchings under edge deletions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyArrayGraph
+
+
+class Matching:
+    """A matching over vertices ``0..n-1`` backed by a mate array.
+
+    Parameters
+    ----------
+    mate:
+        ``int64`` array of length n; ``mate[v]`` is v's partner or −1.
+        Must be an involution: ``mate[mate[v]] == v`` whenever
+        ``mate[v] != -1``.
+    """
+
+    __slots__ = ("mate",)
+
+    def __init__(self, mate: np.ndarray) -> None:
+        mate = np.asarray(mate, dtype=np.int64)
+        matched = mate >= 0
+        if np.any(mate[matched] >= mate.size) or np.any(mate < -1):
+            raise ValueError("mate entries must be -1 or valid vertex ids")
+        partners = mate[mate[matched]]
+        if np.any(partners != np.flatnonzero(matched)):
+            raise ValueError("mate array is not an involution")
+        if np.any(mate[matched] == np.flatnonzero(matched)):
+            raise ValueError("a vertex cannot be matched to itself")
+        self.mate = mate
+
+    # ------------------------------------------------------------------ #
+    # Constructors                                                       #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, num_vertices: int) -> "Matching":
+        """The empty matching on ``num_vertices`` vertices."""
+        return cls(np.full(num_vertices, -1, dtype=np.int64))
+
+    @classmethod
+    def from_edges(cls, num_vertices: int, edges: Iterable[tuple[int, int]]) -> "Matching":
+        """Build from an explicit set of pairwise disjoint edges.
+
+        Raises
+        ------
+        ValueError
+            If two edges share an endpoint or an edge is a self-loop.
+        """
+        mate = np.full(num_vertices, -1, dtype=np.int64)
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {v}) in matching")
+            if mate[u] != -1 or mate[v] != -1:
+                raise ValueError(f"edge ({u}, {v}) shares an endpoint")
+            mate[u], mate[v] = v, u
+        return cls(mate)
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of matched edges."""
+        return int(np.count_nonzero(self.mate >= 0)) // 2
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate matched edges once each, as (u, v) with u < v."""
+        for u in np.flatnonzero(self.mate >= 0):
+            u = int(u)
+            if u < self.mate[u]:
+                yield (u, int(self.mate[u]))
+
+    def is_matched(self, v: int) -> bool:
+        """Whether vertex ``v`` is matched."""
+        return bool(self.mate[v] >= 0)
+
+    def partner(self, v: int) -> int:
+        """v's partner, or −1 if free."""
+        return int(self.mate[v])
+
+    def matched_vertices(self) -> np.ndarray:
+        """The set V_M of matched vertices (paper notation)."""
+        return np.flatnonzero(self.mate >= 0)
+
+    def free_vertices(self) -> np.ndarray:
+        """The set V_F of free vertices (paper notation)."""
+        return np.flatnonzero(self.mate < 0)
+
+    def copy(self) -> "Matching":
+        """An independent copy."""
+        return Matching(self.mate.copy())
+
+    # ------------------------------------------------------------------ #
+    # Verification                                                       #
+    # ------------------------------------------------------------------ #
+    def is_valid_for(self, graph: AdjacencyArrayGraph) -> bool:
+        """All matched edges exist in ``graph`` and sizes are compatible."""
+        if self.mate.size != graph.num_vertices:
+            return False
+        return all(graph.has_edge(u, v) for u, v in self.edges())
+
+    def is_maximal_for(self, graph: AdjacencyArrayGraph) -> bool:
+        """No graph edge has both endpoints free (i.e. V_F is independent)."""
+        free = self.mate < 0
+        return not any(free[u] and free[v] for u, v in graph.edges())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matching):
+            return NotImplemented
+        return bool(np.array_equal(self.mate, other.mate))
+
+    # Value equality on a mutable mate array: deliberately unhashable
+    # (the default __hash__=None that comes with defining __eq__).
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Matching(size={self.size}, n={self.mate.size})"
+
+
+def verify_matching(graph: AdjacencyArrayGraph, matching: Matching) -> None:
+    """Raise ``AssertionError`` unless ``matching`` is valid in ``graph``.
+
+    Test/benchmark helper: a single call asserts the two core invariants
+    (involution validity is enforced by the constructor; edge existence
+    here).
+    """
+    if not matching.is_valid_for(graph):
+        raise AssertionError("matching uses an edge not present in the graph")

@@ -1,0 +1,110 @@
+"""A minimal MPC (MapReduce-style) round simulator.
+
+Model (cf. [4, 31]): M machines, each with a local memory of S words; the
+input is partitioned arbitrarily across machines; computation proceeds
+in synchronous rounds, and between rounds machines exchange messages,
+subject to every machine's *incoming data plus retained state* fitting
+in S.  Complexity = number of rounds, with per-round load tracked.
+
+The simulator executes rounds as Python callables over machine-local
+state and **enforces the memory cap**: any machine whose state exceeds
+its word budget raises :class:`MachineOverflowError`.  This is what
+makes the E14 experiment meaningful — the raw graph genuinely cannot be
+centralized, the sparsifier can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class MachineOverflowError(RuntimeError):
+    """A machine's local state exceeded its memory budget."""
+
+
+def _words(state: Any) -> int:
+    """Approximate word size of machine state: counts scalars/pairs."""
+    if state is None:
+        return 0
+    if isinstance(state, (int, float, str)):
+        return 1
+    if isinstance(state, tuple):
+        return len(state)
+    if isinstance(state, (list, set, frozenset)):
+        return sum(_words(item) for item in state)
+    if isinstance(state, dict):
+        return sum(1 + _words(v) for v in state.values())
+    return 1
+
+
+@dataclass
+class MPCSimulator:
+    """M machines with S-word memories, executing synchronous rounds.
+
+    Attributes
+    ----------
+    num_machines:
+        M.
+    memory_per_machine:
+        S, in words (an edge costs 2 words).
+    rounds_executed:
+        Total rounds run so far.
+    max_load_seen:
+        Largest machine state observed at any round boundary.
+    """
+
+    num_machines: int
+    memory_per_machine: int
+    rounds_executed: int = 0
+    max_load_seen: int = 0
+    _states: list[Any] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1:
+            raise ValueError("need at least one machine")
+        if self.memory_per_machine < 1:
+            raise ValueError("memory budget must be positive")
+        self._states = [None] * self.num_machines
+
+    # ------------------------------------------------------------------ #
+    def load(self, machine: int, state: Any) -> None:
+        """Install a machine's initial state (the input partition)."""
+        self._check(machine, state)
+        self._states[machine] = state
+
+    def state(self, machine: int) -> Any:
+        """Read a machine's current state."""
+        return self._states[machine]
+
+    def _check(self, machine: int, state: Any) -> None:
+        size = _words(state)
+        self.max_load_seen = max(self.max_load_seen, size)
+        if size > self.memory_per_machine:
+            raise MachineOverflowError(
+                f"machine {machine} holds {size} words "
+                f"> budget {self.memory_per_machine}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def round(
+        self,
+        compute: Callable[[int, Any], list[tuple[int, Any]]],
+    ) -> None:
+        """Execute one synchronous round.
+
+        ``compute(machine_id, state)`` returns a list of
+        ``(destination_machine, message)`` pairs; the new state of each
+        machine is the list of messages it received.  Memory is checked
+        on every post-round state.
+        """
+        outboxes: list[list[Any]] = [[] for _ in range(self.num_machines)]
+        for m in range(self.num_machines):
+            for dst, message in compute(m, self._states[m]):
+                if not 0 <= dst < self.num_machines:
+                    raise ValueError(f"message to unknown machine {dst}")
+                outboxes[dst].append(message)
+        for m in range(self.num_machines):
+            self._check(m, outboxes[m])
+            self._states[m] = outboxes[m]
+        self.rounds_executed += 1

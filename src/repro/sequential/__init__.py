@@ -1,0 +1,21 @@
+"""Sequential sublinear-time (1+ε)-approximate matching (Theorem 3.1)."""
+
+from repro.sequential.pipeline import (
+    SequentialResult,
+    approximate_matching,
+    sublinearity_certificate,
+)
+from repro.sequential.assadi_solomon import (
+    AS19Result,
+    as19_maximal_matching,
+    count_violating_edges,
+)
+
+__all__ = [
+    "AS19Result",
+    "SequentialResult",
+    "approximate_matching",
+    "as19_maximal_matching",
+    "count_violating_edges",
+    "sublinearity_certificate",
+]

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.builder import from_edges
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic per-test RNG."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def path4():
+    """P4: the smallest augmenting-path trap (0-1-2-3)."""
+    return from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def triangle():
+    """K3: the smallest blossom."""
+    return from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def petersen():
+    """The Petersen graph: classic non-bipartite matching stressor."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, 5 + i) for i in range(5)]
+    return from_edges(10, outer + inner + spokes)
+
+
+def random_graph_edges(rng: np.random.Generator, n: int, p: float):
+    """Helper: edge list of a G(n, p) draw."""
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                edges.append((u, v))
+    return edges

@@ -1,0 +1,61 @@
+"""Tests for Solomon's bounded-degree sparsifier (ITCS'18)."""
+
+import pytest
+
+from repro.core.bounded_degree import solomon_degree_bound, solomon_sparsifier
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique_union, erdos_renyi
+from repro.matching.blossom import mcm_exact
+
+
+class TestDegreeBound:
+    def test_formula(self):
+        assert solomon_degree_bound(3, 0.5, constant=4.0) == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solomon_degree_bound(0, 0.5)
+        with pytest.raises(ValueError):
+            solomon_degree_bound(2, 0.0)
+
+
+class TestSparsifier:
+    def test_max_degree_respected(self):
+        g = erdos_renyi(40, 0.5, rng=0)
+        bound = 5
+        # Pass arboricity/eps that produce exactly this bound.
+        sp = solomon_sparsifier(g, arboricity=5, epsilon=1 - 1e-9, constant=1.0)
+        assert sp.max_degree() <= solomon_degree_bound(5, 1 - 1e-9, 1.0)
+        del bound
+
+    def test_subgraph(self):
+        g = erdos_renyi(30, 0.4, rng=1)
+        sp = solomon_sparsifier(g, arboricity=4, epsilon=0.5)
+        for u, v in sp.edges():
+            assert g.has_edge(u, v)
+
+    def test_deterministic(self):
+        g = erdos_renyi(30, 0.4, rng=2)
+        a = solomon_sparsifier(g, 4, 0.5)
+        b = solomon_sparsifier(g, 4, 0.5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_quality_on_bounded_arboricity(self):
+        """On a genuinely sparse graph the deterministic marks preserve
+        the matching — the contrast with Lemma 2.13 (see E11)."""
+        # Union of paths: arboricity 1.
+        edges = []
+        for s in range(10):
+            base = 4 * s
+            edges += [(base, base + 1), (base + 1, base + 2), (base + 2, base + 3)]
+        g = from_edges(40, edges)
+        sp = solomon_sparsifier(g, arboricity=1, epsilon=0.3)
+        assert mcm_exact(sp).size == mcm_exact(g).size
+
+    def test_mutual_only(self):
+        """Edges kept only when both endpoints mark them."""
+        # Star: center marks `bound` leaves, each leaf marks the center.
+        g = from_edges(9, [(0, i) for i in range(1, 9)])
+        sp = solomon_sparsifier(g, arboricity=1, epsilon=0.5, constant=2.0)
+        bound = solomon_degree_bound(1, 0.5, 2.0)
+        assert sp.num_edges == min(bound, 8)

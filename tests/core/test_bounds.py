@@ -1,0 +1,66 @@
+"""Tests for the paper-bounds calculator."""
+
+import pytest
+
+from repro.core.bounds import PaperBounds
+from repro.core.delta import delta_paper, delta_practical
+
+
+class TestPaperBounds:
+    def test_delta_variants(self):
+        b = PaperBounds(n=1000, beta=2, epsilon=0.3)
+        assert b.delta == delta_practical(2, 0.3)
+        assert b.delta_proven == delta_paper(2, 0.3)
+        assert b.delta < b.delta_proven
+
+    def test_mcm_lower_bound(self):
+        assert PaperBounds(100, 2, 0.5).mcm_lower_bound == 25.0
+
+    def test_size_bounds(self):
+        b = PaperBounds(100, 1, 0.5, mcm_size=50)
+        assert b.sparsifier_size_naive == 100 * b.delta
+        assert b.sparsifier_size_sharp == 2 * 50 * (b.delta + 1)
+
+    def test_size_bound_without_mcm(self):
+        b = PaperBounds(100, 1, 0.5)
+        assert b.sparsifier_size_sharp == 2 * 50 * (b.delta + 1)
+
+    def test_arboricity_and_probes(self):
+        b = PaperBounds(64, 1, 0.5)
+        assert b.arboricity_bound == 2 * b.delta
+        assert b.sequential_probe_bound == 64 * (b.delta + 1)
+
+    def test_messages_bound(self):
+        b = PaperBounds(64, 1, 0.5)
+        assert b.messages_bound(3) == 3 * 64 * b.delta
+        with pytest.raises(ValueError):
+            b.messages_bound(-1)
+
+    def test_lower_bounds(self):
+        b = PaperBounds(200, 2, 0.5)
+        assert b.deterministic_ratio_lower_bound == 200 / (2 * b.delta)
+        assert 0 < b.exact_preservation_upper_bound() <= 1.0
+
+    def test_summary_keys(self):
+        summary = PaperBounds(50, 1, 0.4).summary()
+        assert set(summary) == {
+            "delta", "delta_proven", "mcm_lower_bound",
+            "sparsifier_size_naive", "sparsifier_size_sharp",
+            "arboricity_bound", "sequential_probe_bound",
+            "dynamic_update_bound", "deterministic_ratio_lower_bound",
+            "exact_preservation_upper_bound",
+        }
+
+    def test_consistency_with_measured_experiments(self):
+        """The calculator's bounds hold on a real instance."""
+        from repro.core.sparsifier import build_sparsifier
+        from repro.graphs.generators import clique_union
+        from repro.matching.blossom import mcm_exact
+
+        g = clique_union(3, 20)
+        opt = mcm_exact(g).size
+        b = PaperBounds(g.num_vertices, 1, 0.4, mcm_size=opt)
+        res = build_sparsifier(g, b.delta, rng=0)
+        assert opt >= b.mcm_lower_bound
+        assert res.subgraph.num_edges <= b.sparsifier_size_sharp
+        assert res.subgraph.num_edges <= b.sparsifier_size_naive

@@ -1,0 +1,79 @@
+"""Tests for the Δ(β, ε) policy."""
+
+import math
+
+import pytest
+
+from repro.core.delta import (
+    DeltaPolicy,
+    PAPER_CONSTANT,
+    PRACTICAL_CONSTANT,
+    beta_regime_ok,
+    delta_paper,
+    delta_practical,
+)
+
+
+class TestDeltaFormulas:
+    def test_paper_value(self):
+        # 20 * (1/0.5) * ln(48) = 154.8... -> 155
+        assert delta_paper(1, 0.5) == math.ceil(20 * 2 * math.log(48))
+
+    def test_practical_smaller_than_paper(self):
+        assert delta_practical(3, 0.3) < delta_paper(3, 0.3)
+
+    def test_monotone_in_beta(self):
+        assert delta_practical(2, 0.3) <= delta_practical(4, 0.3)
+
+    def test_monotone_in_epsilon(self):
+        assert delta_practical(2, 0.2) >= delta_practical(2, 0.4)
+
+    def test_minimum_one(self):
+        assert delta_practical(1, 0.9, constant=1e-9) == 1
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            delta_practical(0, 0.5)
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.1, 2.0])
+    def test_invalid_epsilon(self, eps):
+        with pytest.raises(ValueError):
+            delta_practical(1, eps)
+
+    def test_constants_exposed(self):
+        assert PAPER_CONSTANT == 20.0
+        assert PRACTICAL_CONSTANT == 2.0
+
+
+class TestBetaRegime:
+    def test_small_beta_ok(self):
+        assert beta_regime_ok(10_000, 3, 0.3)
+
+    def test_huge_beta_not_ok(self):
+        assert not beta_regime_ok(100, 90, 0.1)
+
+    def test_tiny_graph(self):
+        assert beta_regime_ok(1, 1, 0.5)
+        assert not beta_regime_ok(1, 2, 0.5)
+
+
+class TestDeltaPolicy:
+    def test_cap_to_n(self):
+        policy = DeltaPolicy(constant=100.0)
+        assert policy.delta(5, 0.1, num_vertices=20) == 19
+
+    def test_no_cap_without_n(self):
+        policy = DeltaPolicy(constant=100.0)
+        assert policy.delta(5, 0.1) > 1000
+
+    def test_cap_disabled(self):
+        policy = DeltaPolicy(constant=100.0, cap_to_n=False)
+        assert policy.delta(5, 0.1, num_vertices=20) > 1000
+
+    def test_named_constructors(self):
+        assert DeltaPolicy.paper().constant == PAPER_CONSTANT
+        assert DeltaPolicy.practical().constant == PRACTICAL_CONSTANT
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DeltaPolicy().constant = 5.0

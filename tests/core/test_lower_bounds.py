@@ -1,0 +1,77 @@
+"""Tests for the executable lower bounds (Lemma 2.13 / Observation 2.14)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lower_bounds import (
+    adversarial_clique_ordering,
+    deterministic_first_delta_sparsifier,
+    empirical_exact_preservation,
+    exact_preservation_probability,
+    run_deterministic_lower_bound,
+)
+from repro.matching.blossom import mcm_exact
+
+
+class TestAdversarialOrdering:
+    def test_decoys_first(self):
+        arrays = adversarial_clique_ordering(20, 4)
+        for v, arr in enumerate(arrays):
+            assert len(arr) == 19
+            head = set(int(u) for u in arr[:4])
+            expected_decoys = {u for u in range(4) if u != v}
+            assert expected_decoys <= head
+
+    def test_delta_too_large(self):
+        with pytest.raises(ValueError, match="delta < n/2"):
+            adversarial_clique_ordering(10, 5)
+
+
+class TestDeterministicFailure:
+    def test_all_edges_touch_decoys(self):
+        sp = deterministic_first_delta_sparsifier(30, 3)
+        for u, v in sp.edges():
+            assert u < 3 or v < 3
+
+    def test_ratio_matches_paper_bound(self):
+        report = run_deterministic_lower_bound(60, 5)
+        assert report.mcm_graph == 30
+        assert report.mcm_sparsifier <= 5
+        assert report.ratio >= report.paper_bound
+
+    @pytest.mark.parametrize("n,delta", [(20, 2), (40, 4), (80, 8)])
+    def test_sparsifier_mcm_at_most_delta(self, n, delta):
+        sp = deterministic_first_delta_sparsifier(n, delta)
+        assert mcm_exact(sp).size <= delta
+
+
+class TestExactPreservation:
+    def test_closed_form_range(self):
+        assert exact_preservation_probability(5, 1) == pytest.approx(
+            1 - (1 - 1 / 5) ** 2
+        )
+        assert exact_preservation_probability(5, 5) == 1.0
+        assert exact_preservation_probability(5, 10) == 1.0  # clamped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_preservation_probability(4, 1)  # even half
+        with pytest.raises(ValueError):
+            exact_preservation_probability(0, 1)
+
+    def test_empirical_tracks_closed_form(self):
+        half, delta, trials = 25, 5, 300
+        closed = exact_preservation_probability(half, delta)
+        emp = empirical_exact_preservation(half, delta, trials, rng=0)
+        assert abs(emp - closed) < 0.12  # 3+ sigma slack at 300 trials
+
+    def test_full_mcm_check_at_most_bridge_rate(self):
+        """Exact preservation implies the bridge survived (Obs 2.14)."""
+        half, delta, trials = 9, 2, 60
+        rng = np.random.default_rng(1)
+        full = empirical_exact_preservation(half, delta, trials, rng=rng,
+                                            check_full_mcm=True)
+        rng = np.random.default_rng(1)
+        bridge = empirical_exact_preservation(half, delta, trials, rng=rng,
+                                              check_full_mcm=False)
+        assert full <= bridge + 1e-9

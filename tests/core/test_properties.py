@@ -1,0 +1,57 @@
+"""Tests for the Section 2.2 property checkers."""
+
+import pytest
+
+from repro.core.properties import (
+    QualityReport,
+    arboricity_bound_holds,
+    size_bound_holds,
+    sparsifier_quality,
+)
+from repro.core.sparsifier import build_sparsifier
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique_union
+from repro.matching.blossom import mcm_exact
+
+
+class TestQualityReport:
+    def test_ratio(self):
+        assert QualityReport(10, 8).ratio == 1.25
+        assert QualityReport(0, 0).ratio == 1.0
+        assert QualityReport(5, 0).ratio == float("inf")
+
+    def test_within(self):
+        assert QualityReport(11, 10).within(0.1)
+        assert not QualityReport(12, 10).within(0.1)
+
+
+class TestBounds:
+    def test_size_bound_on_family(self, rng):
+        g = clique_union(3, 20)
+        res = build_sparsifier(g, 5, rng=rng)
+        assert size_bound_holds(g, res.subgraph, 5, beta=1)
+
+    def test_size_bound_precomputed_mcm(self, rng):
+        g = clique_union(2, 12)
+        res = build_sparsifier(g, 3, rng=rng)
+        opt = mcm_exact(g).size
+        assert size_bound_holds(g, res.subgraph, 3, 1, mcm_size=opt)
+
+    def test_arboricity_bound(self, rng):
+        g = clique_union(3, 20)
+        res = build_sparsifier(g, 5, rng=rng)
+        assert arboricity_bound_holds(res.subgraph, 5)
+
+    def test_arboricity_trivial_graphs(self):
+        assert arboricity_bound_holds(from_edges(1, []), 1)
+        assert arboricity_bound_holds(from_edges(0, []), 1)
+
+
+class TestSparsifierQuality:
+    def test_matches_manual(self, rng):
+        g = clique_union(2, 16)
+        res = build_sparsifier(g, 4, rng=rng)
+        report = sparsifier_quality(g, res.subgraph)
+        assert report.mcm_graph == mcm_exact(g).size
+        assert report.mcm_sparsifier == mcm_exact(res.subgraph).size
+        assert report.ratio >= 1.0

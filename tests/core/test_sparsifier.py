@@ -1,0 +1,205 @@
+"""Tests for the random sparsifier G_Δ — the paper's core object."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sparsifier import RandomSparsifier, build_sparsifier
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique, clique_union, erdos_renyi
+from repro.instrument.counters import Counter
+from repro.matching.blossom import mcm_exact
+
+
+class TestConstruction:
+    def test_subgraph_of_input(self, rng):
+        g = erdos_renyi(30, 0.5, rng=rng)
+        res = build_sparsifier(g, 4, rng=rng)
+        for u, v in res.subgraph.edges():
+            assert g.has_edge(u, v)
+
+    def test_mark_counts(self, rng):
+        g = erdos_renyi(30, 0.4, rng=rng)
+        delta = 5
+        res = build_sparsifier(g, delta, rng=rng)
+        for v, marks in enumerate(res.marked_by):
+            assert len(marks) == min(delta, g.degree(v))
+            assert len(set(marks)) == len(marks)  # no repetitions
+            for u in marks:
+                assert g.has_edge(v, u)
+
+    def test_low_degree_marks_everything(self):
+        g = from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        res = build_sparsifier(g, 10, rng=0)
+        assert res.subgraph.num_edges == 3
+
+    def test_union_semantics(self):
+        """An edge is in G_Δ iff at least one endpoint marked it."""
+        g = clique(20)
+        res = build_sparsifier(g, 3, rng=1)
+        marked_pairs = {
+            (min(v, u), max(v, u))
+            for v, marks in enumerate(res.marked_by)
+            for u in marks
+        }
+        assert set(res.subgraph.edges()) == marked_pairs
+
+    def test_invalid_delta(self, rng):
+        with pytest.raises(ValueError):
+            build_sparsifier(clique(4), 0, rng=rng)
+
+    def test_unknown_sampler(self, rng):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            build_sparsifier(clique(4), 2, rng=rng, sampler="bogus")
+
+    def test_reproducible_with_seed(self):
+        g = clique(25)
+        a = build_sparsifier(g, 4, rng=np.random.default_rng(7))
+        b = build_sparsifier(g, 4, rng=np.random.default_rng(7))
+        assert sorted(a.subgraph.edges()) == sorted(b.subgraph.edges())
+        assert a.marked_by == b.marked_by
+
+    def test_empty_graph(self):
+        res = build_sparsifier(from_edges(5, []), 3, rng=0)
+        assert res.subgraph.num_edges == 0
+        assert all(m == () for m in res.marked_by)
+
+
+class TestVectorizedSampler:
+    def test_same_marking_law(self):
+        """Mark counts equal min(delta, deg) and marks are valid."""
+        g = erdos_renyi(40, 0.4, rng=0)
+        res = build_sparsifier(g, 5, rng=1, sampler="vectorized")
+        for v, marks in enumerate(res.marked_by):
+            assert len(marks) == min(5, g.degree(v))
+            assert len(set(marks)) == len(marks)
+            for u in marks:
+                assert g.has_edge(v, u)
+
+    def test_uniformity_on_star(self):
+        g = from_edges(21, [(0, i) for i in range(1, 21)])
+        counts = np.zeros(21)
+        root = np.random.default_rng(2)
+        trials = 400
+        for _ in range(trials):
+            res = build_sparsifier(g, 5, rng=root.spawn(1)[0],
+                                   sampler="vectorized")
+            for u in res.marked_by[0]:
+                counts[u] += 1
+        expected = trials * 5 / 20
+        assert np.all(counts[1:] > expected * 0.6)
+        assert np.all(counts[1:] < expected * 1.4)
+
+    def test_probe_counter_rejected(self):
+        from repro.instrument.counters import Counter
+
+        with pytest.raises(ValueError, match="probe-counted"):
+            build_sparsifier(clique(5), 2, rng=0, sampler="vectorized",
+                             probe_counter=Counter("p"))
+
+    def test_skip_marks(self):
+        g = clique(20)
+        res = build_sparsifier(g, 3, rng=3, sampler="vectorized",
+                               materialize_marks=False)
+        assert all(m == () for m in res.marked_by)
+        assert res.subgraph.num_edges > 0
+
+    def test_empty_graph(self):
+        res = build_sparsifier(from_edges(4, []), 3, rng=4,
+                               sampler="vectorized")
+        assert res.subgraph.num_edges == 0
+
+    def test_quality_matches_scalar_samplers(self):
+        g = clique_union(3, 24)
+        opt = mcm_exact(g).size
+        res = build_sparsifier(g, 6, rng=5, sampler="vectorized")
+        assert opt <= 1.35 * mcm_exact(res.subgraph).size
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("sampler", ["pos_array", "rejection"])
+    def test_both_samplers_valid(self, sampler, rng):
+        g = clique(30)
+        res = build_sparsifier(g, 4, rng=rng, sampler=sampler)
+        for v, marks in enumerate(res.marked_by):
+            assert len(set(marks)) == len(marks)
+            for u in marks:
+                assert g.has_edge(v, u)
+
+    def test_rejection_marks_all_below_2delta(self, rng):
+        """The §3.1 tweak: deg <= 2Δ vertices mark every neighbor."""
+        g = clique(9)  # deg = 8 = 2*4
+        res = build_sparsifier(g, 4, rng=rng, sampler="rejection")
+        assert res.subgraph.num_edges == g.num_edges
+
+    def test_pos_array_probe_bound_deterministic(self):
+        """pos_array: exactly one degree probe + min(Δ, deg) neighbor
+        probes per vertex — the deterministic O(n·Δ) of Theorem 3.1."""
+        g = clique(40)
+        delta = 6
+        for seed in range(5):
+            counter = Counter("probes")
+            build_sparsifier(g, delta, rng=seed, probe_counter=counter)
+            expected = g.num_vertices * (1 + delta)
+            assert counter.value == expected
+
+    def test_pos_array_uniformity(self):
+        """Each neighbor is marked with probability ~Δ/deg (chi-square
+        style sanity check on a star center)."""
+        g = from_edges(21, [(0, i) for i in range(1, 21)])  # star, deg 20
+        delta = 5
+        counts = np.zeros(21)
+        trials = 400
+        root = np.random.default_rng(42)
+        for _ in range(trials):
+            res = build_sparsifier(g, delta, rng=root.spawn(1)[0])
+            for u in res.marked_by[0]:
+                counts[u] += 1
+        expected = trials * delta / 20
+        # Each leaf should be marked ~100 times; allow generous slack.
+        assert np.all(counts[1:] > expected * 0.6)
+        assert np.all(counts[1:] < expected * 1.4)
+
+
+class TestBoundsProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=25),
+        p=st.floats(min_value=0.1, max_value=1.0),
+        delta=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_structural_invariants(self, n, p, delta, seed):
+        rng = np.random.default_rng(seed)
+        g = erdos_renyi(n, p, rng=rng)
+        res = build_sparsifier(g, delta, rng=rng)
+        # Subgraph property.
+        for u, v in res.subgraph.edges():
+            assert g.has_edge(u, v)
+        # Naive size bound (always, deterministically).
+        assert res.subgraph.num_edges <= g.num_vertices * delta
+        # Mark counts.
+        for v, marks in enumerate(res.marked_by):
+            assert len(marks) == min(delta, g.degree(v))
+
+
+class TestRandomSparsifierFrontEnd:
+    def test_delta_for(self):
+        s = RandomSparsifier(beta=1, epsilon=0.5, seed=0)
+        g = clique_union(2, 10)
+        assert s.delta_for(g) == s.policy.delta(1, 0.5, g.num_vertices)
+
+    def test_sparsify_quality(self):
+        s = RandomSparsifier(beta=1, epsilon=0.3, seed=0)
+        g = clique_union(3, 20)
+        res = s.sparsify(g)
+        opt = mcm_exact(g).size
+        got = mcm_exact(res.subgraph).size
+        assert opt <= (1 + 0.3) * got
+
+    def test_fresh_rng_each_call(self):
+        s = RandomSparsifier(beta=1, epsilon=0.5, seed=0)
+        g = clique(30)
+        a = s.sparsify(g)
+        b = s.sparsify(g)
+        assert sorted(a.subgraph.edges()) != sorted(b.subgraph.edges())

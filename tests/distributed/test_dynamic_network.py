@@ -1,0 +1,85 @@
+"""Tests for dynamic distributed maintenance of G_Δ."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.dynamic_network import DynamicDistributedSparsifier
+from repro.dynamic.adversaries import ObliviousAdversary
+from repro.graphs.generators import clique_union
+
+
+class TestDynamicDistributedSparsifier:
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            DynamicDistributedSparsifier(4, 0)
+
+    def test_marks_track_topology(self):
+        net = DynamicDistributedSparsifier(5, delta=2, rng=0)
+        net.insert(0, 1)
+        net.insert(0, 2)
+        net.insert(0, 3)
+        assert len(net.marks_by_me[0]) == 2
+        assert all(net.graph.has_edge(0, u) for u in net.marks_by_me[0])
+
+    def test_local_views_consistent_under_churn(self):
+        host = clique_union(2, 8)
+        net = DynamicDistributedSparsifier(host.num_vertices, 3, rng=1)
+        adv = ObliviousAdversary(list(host.edges()), 0.4, rng=2)
+        for _ in range(300):
+            upd = adv.next_update()
+            if upd is None:
+                break
+            net.update(upd.op, upd.u, upd.v)
+            assert net.local_view_consistent()
+        for u, v in net.sparsifier_edges():
+            assert net.graph.has_edge(u, v)
+
+    def test_message_bound_per_update(self):
+        host = clique_union(2, 20)
+        delta = 4
+        net = DynamicDistributedSparsifier(host.num_vertices, delta, rng=3)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=4)
+        for upd in adv.stream(400):
+            net.update(upd.op, upd.u, upd.v)
+        assert net.max_messages_per_update() <= 4 * delta + 2
+
+    def test_local_memory_bound(self):
+        """Own marks ≤ Δ; received marks ≤ current degree."""
+        host = clique_union(2, 10)
+        net = DynamicDistributedSparsifier(host.num_vertices, 3, rng=5)
+        for u, v in host.edges():
+            net.insert(u, v)
+        for v in range(host.num_vertices):
+            assert len(net.marks_by_me[v]) <= 3
+            assert net.local_memory(v) <= 3 + net.graph.degree(v)
+
+    def test_deleted_link_carries_no_message(self):
+        """After delete(u,v), neither side's sets reference the other
+        unless a *current* edge re-marks them."""
+        net = DynamicDistributedSparsifier(4, delta=5, rng=6)
+        net.insert(0, 1)
+        net.delete(0, 1)
+        assert 1 not in net.marks_by_me[0]
+        assert 0 not in net.marked_me[1]
+
+    def test_quality_after_churn(self):
+        from repro.matching.blossom import mcm_exact
+
+        host = clique_union(3, 12)
+        net = DynamicDistributedSparsifier(host.num_vertices, 8, rng=7)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=8)
+        adv.preload(list(host.edges()))
+        for u, v in host.edges():
+            net.insert(u, v)
+        for upd in adv.stream(300):
+            net.update(upd.op, upd.u, upd.v)
+        live = net.graph.snapshot()
+        opt = mcm_exact(live).size
+        got = mcm_exact(net.sparsifier()).size
+        assert opt <= 1.5 * max(1, got)
+
+    def test_metrics_accumulate(self):
+        net = DynamicDistributedSparsifier(4, delta=2, rng=9)
+        net.insert(0, 1)
+        assert net.metrics.value("messages") > 0
+        assert net.metrics.value("bits") == net.metrics.value("messages")

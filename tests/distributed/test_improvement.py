@@ -1,0 +1,113 @@
+"""Tests for the augmenting-path elimination protocol and its path search."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.improvement import (
+    AugmentingPathEliminationProtocol,
+    find_short_augmenting_path,
+)
+from repro.distributed.network import SyncNetwork
+from repro.graphs.builder import from_edges
+from repro.matching.blossom import mcm_exact
+from repro.matching.greedy import greedy_maximal_matching
+from repro.matching.matching import Matching
+
+
+def _mate_dict(matching: Matching) -> dict[int, int]:
+    return {v: int(matching.mate[v]) for v in range(matching.mate.size)}
+
+
+class TestPathSearch:
+    def test_p4_middle_matched(self):
+        """0-1-2-3 with (1,2) matched: augmenting path of length 3."""
+        edges = {(0, 1): False, (1, 2): True, (2, 3): False}
+        mate = {0: -1, 1: 2, 2: 1, 3: -1}
+        path = find_short_augmenting_path(edges, 0, mate, max_len=3)
+        assert path == [0, 1, 2, 3]
+
+    def test_length_limit_respected(self):
+        edges = {(0, 1): False, (1, 2): True, (2, 3): False}
+        mate = {0: -1, 1: 2, 2: 1, 3: -1}
+        assert find_short_augmenting_path(edges, 0, mate, max_len=1) is None
+
+    def test_single_free_edge(self):
+        edges = {(0, 1): False}
+        mate = {0: -1, 1: -1}
+        assert find_short_augmenting_path(edges, 0, mate, max_len=1) == [0, 1]
+
+    def test_no_path_when_saturated(self):
+        edges = {(0, 1): True, (0, 2): False}
+        mate = {0: 1, 1: 0, 2: -1}
+        # start must be free; from 2 the only neighbor 0 is matched and the
+        # continuation leads back to no free vertex.
+        assert find_short_augmenting_path(edges, 2, mate, max_len=3) is None
+
+    def test_alternation_through_triangle(self):
+        """Odd structure: 0-1 free, 1-2 matched, 2-0 free: from 0 the walk
+        0-(1)-(2)-0 is not simple; no augmenting path exists."""
+        edges = {(0, 1): False, (1, 2): True, (0, 2): False}
+        mate = {0: -1, 1: 2, 2: 1}
+        assert find_short_augmenting_path(edges, 0, mate, max_len=3) is None
+
+
+def _p4_traps(k: int):
+    edges = []
+    for i in range(k):
+        b = 4 * i
+        edges += [(b, b + 1), (b + 1, b + 2), (b + 2, b + 3)]
+    return from_edges(4 * k, edges)
+
+
+class TestProtocol:
+    def test_repairs_p4_traps(self):
+        g = _p4_traps(6)
+        # Deliberately bad maximal matching: all middle edges.
+        mate = {v: -1 for v in range(g.num_vertices)}
+        for i in range(6):
+            b = 4 * i
+            mate[b + 1], mate[b + 2] = b + 2, b + 1
+        proto = AugmentingPathEliminationProtocol(2, mate, rng=0)
+        net = SyncNetwork(g)
+        net.run(proto, max_rounds=10_000)
+        assert proto.matching.size == 12  # perfect
+
+    def test_result_valid(self):
+        g = _p4_traps(3)
+        start = greedy_maximal_matching(g, rng=np.random.default_rng(0))
+        proto = AugmentingPathEliminationProtocol(2, _mate_dict(start), rng=1)
+        net = SyncNetwork(g)
+        net.run(proto, max_rounds=10_000)
+        m = proto.matching
+        assert m.is_valid_for(g)
+        assert m.size >= start.size
+
+    def test_k1_no_op_on_maximal(self):
+        """k=1 eliminates augmenting paths of length 1 — a maximal
+        matching has none, so the protocol stops after one iteration."""
+        g = _p4_traps(2)
+        start = greedy_maximal_matching(g)
+        proto = AugmentingPathEliminationProtocol(1, _mate_dict(start), rng=2)
+        net = SyncNetwork(g)
+        net.run(proto, max_rounds=1000)
+        assert proto.matching.size == start.size
+        assert proto.iterations == 1
+
+    def test_hopcroft_karp_certificate(self):
+        """After running with k, the matching has no augmenting path of
+        length <= 2k-1, hence size >= k/(k+1) * |MCM| (HK lemma)."""
+        rng = np.random.default_rng(3)
+        edges = [(u, v) for u in range(24) for v in range(u + 1, 24)
+                 if rng.random() < 0.15]
+        g = from_edges(24, edges)
+        start = greedy_maximal_matching(g, rng=rng)
+        k = 3
+        proto = AugmentingPathEliminationProtocol(k, _mate_dict(start), rng=4)
+        net = SyncNetwork(g)
+        net.run(proto, max_rounds=100_000)
+        opt = mcm_exact(g).size
+        assert (k + 1) * proto.matching.size >= k * opt
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            AugmentingPathEliminationProtocol(0, {})

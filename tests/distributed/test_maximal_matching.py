@@ -1,0 +1,56 @@
+"""Tests for the randomized distributed maximal matching protocol."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.maximal_matching import RandomizedMatchingProtocol
+from repro.distributed.network import SyncNetwork
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique_union, erdos_renyi
+from repro.matching.blossom import mcm_exact
+
+
+class TestRandomizedMatching:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_maximal_and_valid(self, seed):
+        g = erdos_renyi(40, 0.2, rng=seed)
+        net = SyncNetwork(g)
+        proto = RandomizedMatchingProtocol(rng=seed)
+        net.run(proto, max_rounds=500)
+        m = proto.matching
+        assert m.is_valid_for(g)
+        assert m.is_maximal_for(g)
+
+    def test_two_approximation(self):
+        g = clique_union(3, 12)
+        net = SyncNetwork(g)
+        proto = RandomizedMatchingProtocol(rng=0)
+        net.run(proto, max_rounds=500)
+        assert 2 * proto.matching.size >= mcm_exact(g).size
+
+    def test_empty_graph_immediate(self):
+        g = from_edges(5, [])
+        net = SyncNetwork(g)
+        proto = RandomizedMatchingProtocol(rng=1)
+        rounds = net.run(proto, max_rounds=5)
+        assert rounds == 0
+        assert proto.matching.size == 0
+
+    def test_single_edge(self):
+        g = from_edges(2, [(0, 1)])
+        net = SyncNetwork(g)
+        proto = RandomizedMatchingProtocol(rng=2)
+        net.run(proto, max_rounds=200)
+        assert proto.matching.size == 1
+
+    def test_round_count_logarithmic_ish(self):
+        """Phases grow slowly with n (O(log n) whp)."""
+        counts = []
+        for k in (2, 8):
+            g = clique_union(k, 10)
+            net = SyncNetwork(g)
+            proto = RandomizedMatchingProtocol(rng=3)
+            net.run(proto, max_rounds=1000)
+            counts.append(proto.phase_count)
+        # 4x more vertices should cost far fewer than 4x more phases.
+        assert counts[1] <= 4 * counts[0]

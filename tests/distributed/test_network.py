@@ -1,0 +1,105 @@
+"""Tests for the synchronous network simulator."""
+
+import pytest
+
+from repro.distributed.network import Message, Protocol, SyncNetwork
+from repro.graphs.builder import from_edges
+
+
+class EchoOnce(Protocol):
+    """Every vertex sends one message to each neighbor, once."""
+
+    def __init__(self, bits: int = 1) -> None:
+        self.bits = bits
+        self._sent = False
+        self.received: list[Message] = []
+
+    def round(self, network, v, inbox):
+        return [
+            Message(src=v, dst=u, payload="hi", bits=self.bits)
+            for u in network.neighbors(v)
+        ]
+
+    def finished(self, network):
+        if not self._sent:
+            self._sent = True
+            return False
+        return True
+
+    def finalize(self, network, v, inbox):
+        self.received.extend(inbox)
+
+
+class Forger(Protocol):
+    def round(self, network, v, inbox):
+        return [Message(src=v + 1, dst=v, payload=None)] if v == 0 else []
+
+    def finished(self, network):
+        if getattr(self, "_done", False):
+            return True
+        self._done = True
+        return False
+
+
+class NonEdgeSender(Protocol):
+    def round(self, network, v, inbox):
+        return [Message(src=v, dst=(v + 2) % 4, payload=None)] if v == 0 else []
+
+    def finished(self, network):
+        if getattr(self, "_done", False):
+            return True
+        self._done = True
+        return False
+
+
+class NeverDone(Protocol):
+    def round(self, network, v, inbox):
+        return []
+
+    def finished(self, network):
+        return False
+
+
+@pytest.fixture
+def square():
+    return from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+class TestSimulator:
+    def test_round_and_message_counting(self, square):
+        net = SyncNetwork(square)
+        proto = EchoOnce(bits=3)
+        rounds = net.run(proto, max_rounds=5)
+        assert rounds == 1
+        assert net.metrics.value("rounds") == 1
+        assert net.metrics.value("messages") == 8  # 2 per vertex
+        assert net.metrics.value("bits") == 24
+
+    def test_finalize_delivers_last_round(self, square):
+        net = SyncNetwork(square)
+        proto = EchoOnce()
+        net.run(proto, max_rounds=5)
+        assert len(proto.received) == 8
+
+    def test_forged_src_rejected(self, square):
+        with pytest.raises(RuntimeError, match="forged"):
+            SyncNetwork(square).run(Forger(), max_rounds=2)
+
+    def test_non_edge_rejected(self, square):
+        with pytest.raises(RuntimeError, match="non-edge"):
+            SyncNetwork(square).run(NonEdgeSender(), max_rounds=2)
+
+    def test_round_limit(self, square):
+        with pytest.raises(RuntimeError, match="exceeded"):
+            SyncNetwork(square).run(NeverDone(), max_rounds=3)
+
+    def test_metrics_accumulate_across_runs(self, square):
+        net = SyncNetwork(square)
+        net.run(EchoOnce(), max_rounds=5)
+        net.run(EchoOnce(), max_rounds=5)
+        assert net.metrics.value("messages") == 16
+
+    def test_degree_and_neighbors(self, square):
+        net = SyncNetwork(square)
+        assert net.degree(0) == 2
+        assert sorted(net.neighbors(0)) == [1, 3]

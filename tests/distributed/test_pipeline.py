@@ -1,0 +1,68 @@
+"""Integration tests for the distributed pipelines (Theorems 3.2/3.3)."""
+
+import pytest
+
+from repro.distributed.pipeline import (
+    distributed_approx_matching,
+    distributed_baseline_matching,
+)
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique_union, random_line_graph
+from repro.matching.blossom import mcm_exact
+
+
+class TestApproxPipeline:
+    def test_validity_and_quality(self):
+        g = clique_union(3, 16)
+        opt = mcm_exact(g).size
+        rep = distributed_approx_matching(g, beta=1, epsilon=0.34, rng=0)
+        assert rep.matching.is_valid_for(g)
+        assert opt <= (1 + 0.34) * rep.matching.size
+
+    def test_line_graph_quality(self):
+        g = random_line_graph(14, 0.5, rng=1)
+        opt = mcm_exact(g).size
+        rep = distributed_approx_matching(g, beta=2, epsilon=0.5, rng=2)
+        assert opt <= 1.5 * rep.matching.size
+
+    def test_metrics_populated(self):
+        g = clique_union(2, 12)
+        rep = distributed_approx_matching(g, beta=1, epsilon=0.5, rng=3)
+        assert rep.rounds > 0
+        assert rep.messages > 0
+        assert rep.bits >= rep.messages  # every message >= 1 bit
+        assert rep.delta >= 1
+        assert rep.improvement_iterations >= 1
+
+    def test_beats_baseline_on_traps(self):
+        """With P4 traps, improvement must recover what the baseline drops."""
+        edges = []
+        for i in range(8):
+            b = 4 * i
+            edges += [(b, b + 1), (b + 1, b + 2), (b + 2, b + 3)]
+        g = from_edges(32, edges)
+        ours = distributed_approx_matching(g, beta=2, epsilon=0.34, rng=4)
+        base = distributed_baseline_matching(g, beta=2, epsilon=0.34, rng=4)
+        assert ours.matching.size >= base.matching.size
+        assert ours.matching.size == 16  # perfect after improvement
+
+
+class TestBaselinePipeline:
+    def test_maximality_on_sparsifier_quality(self):
+        g = clique_union(3, 16)
+        opt = mcm_exact(g).size
+        rep = distributed_baseline_matching(g, beta=1, epsilon=0.34, rng=5)
+        assert rep.matching.is_valid_for(g)
+        # Maximal matching on a (1+eps)-sparsifier: ratio <= 2(1+eps).
+        assert opt <= 2 * (1 + 0.34) * rep.matching.size
+        assert rep.improvement_iterations == 0
+
+    def test_message_sublinearity_trend(self):
+        """Denser graph, similar message budget (Theorem 3.3 shape)."""
+        small = clique_union(3, 12)
+        large = clique_union(3, 36)  # 9x the edges, 3x the vertices
+        rep_s = distributed_baseline_matching(small, 1, 0.34, rng=6)
+        rep_l = distributed_baseline_matching(large, 1, 0.34, rng=6)
+        ratio_small = rep_s.messages / (2 * small.num_edges)
+        ratio_large = rep_l.messages / (2 * large.num_edges)
+        assert ratio_large < ratio_small

@@ -1,0 +1,46 @@
+"""Tests for the Theorem 3.3 black-box reduction combinator."""
+
+from repro.distributed.maximal_matching import RandomizedMatchingProtocol
+from repro.distributed.pipeline import reduce_with_sparsifier
+from repro.graphs.generators import clique_union
+from repro.matching.blossom import mcm_exact
+
+
+class TestReduction:
+    def test_black_box_runs_on_sparsifier(self):
+        g = clique_union(3, 20)
+        proto, metrics, g_delta = reduce_with_sparsifier(
+            g, beta=1, epsilon=0.34,
+            protocol_factory=lambda sub: RandomizedMatchingProtocol(rng=0),
+            rng=1,
+        )
+        # The black box computed a maximal matching of the sparsifier...
+        m = proto.matching
+        assert m.is_valid_for(g_delta)
+        assert m.is_maximal_for(g_delta)
+        # ...and is therefore a 2(1+eps)-approx of the input's MCM.
+        opt = mcm_exact(g).size
+        assert opt <= 2 * (1 + 0.34) * m.size
+
+    def test_message_bound_shape(self):
+        """Messages <= (T+1) * n * delta-ish, counted end to end."""
+        g = clique_union(3, 24)
+        proto, metrics, g_delta = reduce_with_sparsifier(
+            g, beta=1, epsilon=0.34,
+            protocol_factory=lambda sub: RandomizedMatchingProtocol(rng=2),
+            rng=3,
+        )
+        rounds = metrics.value("rounds")
+        # Every per-round message count is bounded by 2*|E(G_delta)|.
+        assert metrics.value("messages") <= rounds * 2 * g_delta.num_edges + \
+            g.num_vertices * 64  # stage-1 marks
+
+    def test_sparsifier_edge_subset(self):
+        g = clique_union(2, 16)
+        _, _, g_delta = reduce_with_sparsifier(
+            g, beta=1, epsilon=0.5,
+            protocol_factory=lambda sub: RandomizedMatchingProtocol(rng=4),
+            rng=5,
+        )
+        for u, v in g_delta.edges():
+            assert g.has_edge(u, v)

@@ -1,0 +1,43 @@
+"""Tests for the one-round Solomon (mutual-marking) protocol."""
+
+import pytest
+
+from repro.distributed.network import SyncNetwork
+from repro.distributed.solomon_round import SolomonProtocol
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique, erdos_renyi
+
+
+class TestSolomonProtocol:
+    def test_single_round(self):
+        net = SyncNetwork(clique(10))
+        assert net.run(SolomonProtocol(3), max_rounds=3) == 1
+
+    def test_mutual_edges_only(self):
+        g = erdos_renyi(25, 0.4, rng=0)
+        net = SyncNetwork(g)
+        proto = SolomonProtocol(4)
+        net.run(proto, max_rounds=3)
+        for u, v in proto.edges:
+            # Recompute the deterministic marks and verify mutuality.
+            u_marks = {int(x) for x in g.neighbors_array(u)[:4]}
+            v_marks = {int(x) for x in g.neighbors_array(v)[:4]}
+            assert v in u_marks and u in v_marks
+
+    def test_degree_bound(self):
+        g = erdos_renyi(30, 0.6, rng=1)
+        net = SyncNetwork(g)
+        proto = SolomonProtocol(3)
+        net.run(proto, max_rounds=3)
+        sp = from_edges(g.num_vertices, sorted(proto.edges))
+        assert sp.max_degree() <= 3
+
+    def test_message_count(self):
+        g = clique(10)  # deg 9
+        net = SyncNetwork(g)
+        net.run(SolomonProtocol(4), max_rounds=3)
+        assert net.metrics.value("messages") == 10 * 4
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            SolomonProtocol(0)

@@ -1,0 +1,116 @@
+"""Tests for the one-round distributed sparsifier protocol."""
+
+import numpy as np
+
+from repro.distributed.network import SyncNetwork
+from repro.distributed.sparsify_round import SparsifierProtocol
+from repro.graphs.generators import clique, clique_union
+
+
+class TestSparsifierProtocol:
+    def test_single_round(self):
+        g = clique(20)
+        net = SyncNetwork(g)
+        proto = SparsifierProtocol(delta=3, rng=0)
+        rounds = net.run(proto, max_rounds=3)
+        assert rounds == 1
+
+    def test_edges_are_graph_edges(self):
+        g = clique_union(2, 15)
+        net = SyncNetwork(g)
+        proto = SparsifierProtocol(delta=4, rng=1)
+        net.run(proto, max_rounds=3)
+        for u, v in proto.edges:
+            assert g.has_edge(u, v)
+            assert u < v
+
+    def test_message_budget(self):
+        """Exactly sum_v min(delta, deg v) 1-bit messages."""
+        g = clique(30)  # deg 29
+        delta = 5
+        net = SyncNetwork(g)
+        proto = SparsifierProtocol(delta=delta, rng=2)
+        net.run(proto, max_rounds=3)
+        assert net.metrics.value("messages") == 30 * delta
+        assert net.metrics.value("bits") == 30 * delta
+
+    def test_low_degree_marks_all(self):
+        g = clique(4)  # deg 3 < delta
+        net = SyncNetwork(g)
+        proto = SparsifierProtocol(delta=10, rng=3)
+        net.run(proto, max_rounds=3)
+        assert proto.edges == set(g.edges())
+
+    def test_both_endpoints_know(self):
+        g = clique(12)
+        net = SyncNetwork(g)
+        proto = SparsifierProtocol(delta=2, rng=4)
+        net.run(proto, max_rounds=3)
+        for u, v in proto.edges:
+            assert v in proto.known_by[u] or u in proto.known_by[v]
+            # Union knowledge covers the edge from at least the marker's
+            # side AND the receiver's side after finalize:
+            assert (v in proto.known_by[u]) and (u in proto.known_by[v])
+
+    def test_matches_quality_of_central_construction(self):
+        from repro.matching.blossom import mcm_exact
+        from repro.graphs.builder import from_edges
+
+        g = clique_union(3, 20)
+        net = SyncNetwork(g)
+        proto = SparsifierProtocol(delta=8, rng=5)
+        net.run(proto, max_rounds=3)
+        sp = from_edges(g.num_vertices, sorted(proto.edges))
+        assert mcm_exact(g).size <= 1.5 * mcm_exact(sp).size
+
+    def test_invalid_delta(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SparsifierProtocol(delta=0)
+
+
+class TestBroadcastVariant:
+    def test_single_round_same_edge_law(self):
+        from repro.distributed.sparsify_round import BroadcastSparsifierProtocol
+
+        g = clique(20)
+        net = SyncNetwork(g)
+        proto = BroadcastSparsifierProtocol(delta=3, rng=0)
+        assert net.run(proto, max_rounds=3) == 1
+        for u, v in proto.edges:
+            assert g.has_edge(u, v)
+        # Mark-count law: |edges| between n*delta/2 (all mutual) and n*delta.
+        assert 20 * 3 / 2 <= len(proto.edges) <= 20 * 3
+
+    def test_cost_contrast_with_unicast(self):
+        from repro.distributed.sparsify_round import BroadcastSparsifierProtocol
+
+        g = clique(16)  # 2m = 240 directed edges
+        net_b = SyncNetwork(g)
+        net_b.run(BroadcastSparsifierProtocol(delta=2, rng=1), max_rounds=3)
+        net_u = SyncNetwork(g)
+        net_u.run(SparsifierProtocol(delta=2, rng=1), max_rounds=3)
+        # Broadcast: one message per directed edge, multi-bit payloads.
+        assert net_b.metrics.value("messages") == 2 * g.num_edges
+        assert net_b.metrics.value("bits") > net_u.metrics.value("bits")
+        # Unicast: one 1-bit message per mark.
+        assert net_u.metrics.value("messages") == 16 * 2
+        assert net_u.metrics.value("bits") == 16 * 2
+
+    def test_receiver_learns_from_payload(self):
+        from repro.distributed.sparsify_round import BroadcastSparsifierProtocol
+
+        g = clique(10)
+        net = SyncNetwork(g)
+        proto = BroadcastSparsifierProtocol(delta=9, rng=2)
+        net.run(proto, max_rounds=3)
+        assert proto.edges == set(g.edges())  # delta >= deg: everything
+
+    def test_invalid_delta(self):
+        import pytest
+
+        from repro.distributed.sparsify_round import BroadcastSparsifierProtocol
+
+        with pytest.raises(ValueError):
+            BroadcastSparsifierProtocol(delta=0)

@@ -1,0 +1,99 @@
+"""Tests for the update-stream adversaries."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.adversaries import (
+    AdaptiveAdversary,
+    ObliviousAdversary,
+    Update,
+)
+from repro.graphs.generators import clique_union
+from repro.matching.matching import Matching
+
+
+UNIVERSE = [(0, 1), (1, 2), (2, 3), (0, 3)]
+
+
+class TestOblivious:
+    def test_stream_is_consistent(self):
+        """Never deletes an absent edge nor inserts a present one."""
+        adv = ObliviousAdversary(UNIVERSE, 0.5, rng=0)
+        present = set()
+        for upd in adv.stream(200):
+            e = (upd.u, upd.v)
+            assert e in [(min(a, b), max(a, b)) for a, b in UNIVERSE]
+            if upd.op == "insert":
+                assert e not in present
+                present.add(e)
+            else:
+                assert e in present
+                present.remove(e)
+
+    def test_respects_universe(self):
+        adv = ObliviousAdversary(UNIVERSE, 0.3, rng=1)
+        for upd in adv.stream(100):
+            assert (upd.u, upd.v) in UNIVERSE
+
+    def test_preload(self):
+        adv = ObliviousAdversary(UNIVERSE, 1.0, rng=2)
+        adv.preload(UNIVERSE)
+        upd = adv.next_update()
+        assert upd.op == "delete"
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            ObliviousAdversary([], 0.3)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            ObliviousAdversary(UNIVERSE, 1.5)
+
+    def test_saturated_universe_deletes(self):
+        adv = ObliviousAdversary([(0, 1)], 0.0, rng=3)
+        first = adv.next_update()
+        assert first.op == "insert"
+        second = adv.next_update()
+        assert second.op == "delete"  # nothing left to insert
+
+
+class TestAdaptive:
+    def test_attacks_matched_edges(self):
+        matching = Matching.from_edges(4, [(0, 1)])
+        adv = AdaptiveAdversary(UNIVERSE, observe=lambda: matching,
+                                attack_probability=1.0, rng=4)
+        adv.preload(UNIVERSE)
+        upd = adv.next_update()
+        assert upd == Update("delete", 0, 1)
+        assert adv.attacks == 1
+
+    def test_falls_back_when_no_matched_edges(self):
+        adv = AdaptiveAdversary(UNIVERSE, observe=lambda: Matching.empty(4),
+                                attack_probability=1.0, rng=5)
+        upd = adv.next_update()
+        assert upd is not None
+        assert upd.op == "insert"
+        assert adv.attacks == 0
+
+    def test_stream_consistency(self):
+        matching_holder = {"m": Matching.empty(4)}
+        adv = AdaptiveAdversary(UNIVERSE,
+                                observe=lambda: matching_holder["m"],
+                                attack_probability=0.5, rng=6)
+        present = set()
+        for _ in range(150):
+            upd = adv.next_update()
+            if upd is None:
+                break
+            e = (upd.u, upd.v)
+            if upd.op == "insert":
+                assert e not in present
+                present.add(e)
+            else:
+                assert e in present
+                present.remove(e)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            AdaptiveAdversary(UNIVERSE, observe=lambda: Matching.empty(4),
+                              attack_probability=-0.1)

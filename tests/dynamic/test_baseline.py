@@ -1,0 +1,73 @@
+"""Tests for the deterministic dynamic maximal matching baseline."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dynamic.baseline import DynamicMaximalMatching
+from repro.dynamic.adversaries import ObliviousAdversary
+from repro.graphs.generators import clique_union
+from repro.matching.blossom import mcm_exact
+
+
+class TestBaseline:
+    def test_insert_matches_free_pair(self):
+        alg = DynamicMaximalMatching(4)
+        alg.insert(0, 1)
+        assert alg.matching.partner(0) == 1
+
+    def test_delete_rematches(self):
+        alg = DynamicMaximalMatching(4)
+        alg.insert(0, 1)
+        alg.insert(1, 2)  # 1 already matched; no-op for matching
+        alg.insert(2, 3)  # matches (2,3)
+        alg.delete(0, 1)  # 0 free; 1 should rematch with... 2 is taken
+        m = alg.matching
+        assert m.is_maximal_for(alg.graph.snapshot())
+
+    def test_work_logged(self):
+        alg = DynamicMaximalMatching(4)
+        alg.insert(0, 1)
+        alg.delete(0, 1)
+        assert len(alg.work_log) == 2
+        assert alg.max_work_per_update() >= 1
+
+    def test_stream_two_approximation(self):
+        host = clique_union(3, 8)
+        alg = DynamicMaximalMatching(host.num_vertices)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=0)
+        for _ in range(500):
+            upd = adv.next_update()
+            if upd is None:
+                break
+            alg.update(upd.op, upd.u, upd.v)
+        snap = alg.graph.snapshot()
+        m = alg.matching
+        assert m.is_valid_for(snap)
+        assert m.is_maximal_for(snap)
+        assert 2 * m.size >= mcm_exact(snap).size
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    ops=st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=60),
+)
+def test_maximality_invariant_random_streams(n, ops):
+    """After every update the matching is valid and maximal."""
+    alg = DynamicMaximalMatching(n)
+    present = set()
+    for a, b in ops:
+        u, v = a % n, b % n
+        if u == v:
+            continue
+        e = (min(u, v), max(u, v))
+        if e in present:
+            present.remove(e)
+            alg.delete(*e)
+        else:
+            present.add(e)
+            alg.insert(*e)
+        snap = alg.graph.snapshot()
+        m = alg.matching
+        assert m.is_valid_for(snap)
+        assert m.is_maximal_for(snap)

@@ -1,0 +1,126 @@
+"""Tests for the dynamic graph substrate, incl. a reference-model property."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dynamic.graph import DynamicGraph
+
+
+class TestBasics:
+    def test_insert_delete(self):
+        g = DynamicGraph(4)
+        g.insert(0, 1)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.degree(0) == 1
+        g.delete(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 0
+
+    def test_duplicate_insert_rejected(self):
+        g = DynamicGraph(3)
+        g.insert(0, 1)
+        with pytest.raises(ValueError, match="already present"):
+            g.insert(1, 0)
+
+    def test_missing_delete_rejected(self):
+        g = DynamicGraph(3)
+        with pytest.raises(ValueError, match="not present"):
+            g.delete(0, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            DynamicGraph(3).insert(1, 1)
+
+    def test_apply_dispatch(self):
+        g = DynamicGraph(3)
+        g.apply("insert", 0, 2)
+        assert g.has_edge(0, 2)
+        g.apply("delete", 0, 2)
+        assert not g.has_edge(0, 2)
+        with pytest.raises(ValueError, match="unknown update"):
+            g.apply("toggle", 0, 1)
+
+    def test_swap_delete_keeps_positions_consistent(self):
+        g = DynamicGraph(5)
+        for v in (1, 2, 3, 4):
+            g.insert(0, v)
+        g.delete(0, 2)  # swap-with-last path
+        assert sorted(g.neighbors(0)) == [1, 3, 4]
+        g.delete(0, 4)
+        assert sorted(g.neighbors(0)) == [1, 3]
+
+    def test_non_isolated_tracking(self):
+        g = DynamicGraph(5)
+        assert g.non_isolated_vertices() == []
+        g.insert(1, 3)
+        assert g.non_isolated_vertices() == [1, 3]
+        g.delete(1, 3)
+        assert g.non_isolated_vertices() == []
+
+    def test_sample_neighbors(self, rng):
+        g = DynamicGraph(10)
+        for v in range(1, 10):
+            g.insert(0, v)
+        sample = g.sample_neighbors(0, 4, rng)
+        assert len(sample) == 4
+        assert len(set(sample)) == 4
+        assert all(g.has_edge(0, u) for u in sample)
+        assert g.sample_neighbors(5, 4, rng) == [0]
+        assert g.sample_neighbors(1, 0, rng) == []
+        g2 = DynamicGraph(2)
+        assert g2.sample_neighbors(0, 3, rng) == []
+
+    def test_snapshot(self):
+        g = DynamicGraph(4)
+        g.insert(0, 1)
+        g.insert(2, 3)
+        snap = g.snapshot()
+        assert sorted(snap.edges()) == [(0, 1), (2, 3)]
+        assert snap.num_vertices == 4
+
+    def test_version_monotone(self):
+        g = DynamicGraph(3)
+        v0 = g.version
+        g.insert(0, 1)
+        g.delete(0, 1)
+        assert g.version == v0 + 2
+
+    def test_negative_vertices(self):
+        with pytest.raises(ValueError):
+            DynamicGraph(-1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    ops=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=80
+    ),
+)
+def test_matches_networkx_reference(n, ops):
+    """Random toggle sequences agree with a NetworkX reference model."""
+    ours = DynamicGraph(n)
+    ref = nx.Graph()
+    ref.add_nodes_from(range(n))
+    for a, b in ops:
+        u, v = a % n, b % n
+        if u == v:
+            continue
+        if ref.has_edge(u, v):
+            ref.remove_edge(u, v)
+            ours.delete(u, v)
+        else:
+            ref.add_edge(u, v)
+            ours.insert(u, v)
+        assert ours.num_edges == ref.number_of_edges()
+    assert sorted(ours.edges()) == sorted(
+        (min(u, v), max(u, v)) for u, v in ref.edges()
+    )
+    for v in range(n):
+        assert ours.degree(v) == ref.degree(v)
+        assert sorted(ours.neighbors(v)) == sorted(ref.neighbors(v))
+    assert set(ours.non_isolated_vertices()) == {
+        v for v in range(n) if ref.degree(v) > 0
+    }

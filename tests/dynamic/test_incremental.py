@@ -1,0 +1,97 @@
+"""Tests for the work-chunked incremental rebuild generator."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.graph import DynamicGraph
+from repro.dynamic.incremental import incremental_rebuild
+from repro.graphs.generators import clique_union
+from repro.matching.blossom import mcm_exact
+from repro.matching.matching import Matching
+
+
+def _loaded(host):
+    g = DynamicGraph(host.num_vertices)
+    for u, v in host.edges():
+        g.insert(u, v)
+    return g
+
+
+def _drain(gen):
+    chunks = 0
+    while True:
+        try:
+            next(gen)
+            chunks += 1
+        except StopIteration as stop:
+            return stop.value, chunks
+
+
+class TestRebuild:
+    def test_produces_valid_matching(self, rng):
+        host = clique_union(3, 12)
+        g = _loaded(host)
+        mate, chunks = _drain(incremental_rebuild(g, 5, 4, rng))
+        m = Matching(np.asarray(mate))
+        assert m.is_valid_for(g.snapshot())
+        assert chunks >= 1
+
+    def test_quality_near_exact(self, rng):
+        host = clique_union(3, 20)
+        g = _loaded(host)
+        mate, _ = _drain(incremental_rebuild(g, 8, 6, rng))
+        opt = mcm_exact(g.snapshot()).size
+        assert opt <= 1.3 * Matching(np.asarray(mate)).size
+
+    def test_empty_graph(self, rng):
+        g = DynamicGraph(5)
+        mate, chunks = _drain(incremental_rebuild(g, 3, 2, rng))
+        assert Matching(np.asarray(mate)).size == 0
+
+    def test_survives_concurrent_deletions(self, rng):
+        """Delete edges between chunks; the final matching must only use
+        surviving edges after the driver-side prune (simulated here)."""
+        host = clique_union(2, 14)
+        g = _loaded(host)
+        gen = incremental_rebuild(g, 4, 3, rng, chunk=32)
+        edges = list(g.edges())
+        i = 0
+        while True:
+            try:
+                next(gen)
+                if i < len(edges):
+                    u, v = edges[i]
+                    if g.has_edge(u, v):
+                        g.delete(u, v)
+                    i += 1
+            except StopIteration as stop:
+                mate = np.asarray(stop.value)
+                break
+        # Driver-side prune (as LazyRebuildMatching does).
+        for v in np.flatnonzero(mate >= 0):
+            v = int(v)
+            u = int(mate[v])
+            if v < u and not g.has_edge(v, u):
+                mate[v] = -1
+                mate[u] = -1
+        assert Matching(mate).is_valid_for(g.snapshot())
+
+    def test_chunk_scaling(self, rng):
+        """Smaller chunks => more yields, same result quality."""
+        host = clique_union(2, 16)
+        g = _loaded(host)
+        _, chunks_small = _drain(
+            incremental_rebuild(g, 4, 3, np.random.default_rng(0), chunk=16)
+        )
+        _, chunks_big = _drain(
+            incremental_rebuild(g, 4, 3, np.random.default_rng(0), chunk=4096)
+        )
+        assert chunks_small > chunks_big
+
+    def test_search_cap_disabled(self, rng):
+        host = clique_union(2, 10)
+        g = _loaded(host)
+        mate, _ = _drain(
+            incremental_rebuild(g, 4, 3, rng, search_cap_factor=0)
+        )
+        assert Matching(np.asarray(mate)).is_valid_for(g.snapshot())

@@ -1,0 +1,67 @@
+"""Tests for the oblivious-adversary dynamic matcher (§3.3 warm-up)."""
+
+import pytest
+
+from repro.dynamic.adversaries import ObliviousAdversary
+from repro.dynamic.oblivious import ObliviousDynamicMatching
+from repro.graphs.generators import clique_union
+from repro.matching.blossom import mcm_exact
+
+
+@pytest.fixture
+def host():
+    return clique_union(3, 10)
+
+
+class TestObliviousDynamicMatching:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            ObliviousDynamicMatching(4, 1, 1.5)
+
+    def test_matching_valid_under_stream(self, host):
+        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, rng=0)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=1)
+        for step in range(400):
+            upd = adv.next_update()
+            if upd is None:
+                break
+            alg.update(upd.op, upd.u, upd.v)
+            if step % 100 == 0:
+                assert alg.matching.is_valid_for(alg.graph.snapshot())
+        assert alg.matching.is_valid_for(alg.graph.snapshot())
+
+    def test_quality_against_oblivious_stream(self, host):
+        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, rng=2)
+        adv = ObliviousAdversary(list(host.edges()), 0.25, rng=3)
+        adv.preload(list(host.edges()))
+        for u, v in host.edges():
+            alg.insert(u, v)
+        for upd in adv.stream(400):
+            alg.update(upd.op, upd.u, upd.v)
+        snap = alg.graph.snapshot()
+        opt = mcm_exact(snap).size
+        got = alg.matching.size
+        # Greedy on a (1+eps)-sparsifier: within 2(1+eps) always, and on
+        # clique unions empirically far better.
+        assert opt <= 2 * (1 + 0.4) * max(1, got)
+        assert alg.rebuilds_completed > 0
+
+    def test_work_bounded(self, host):
+        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, rng=4)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=5)
+        for upd in adv.stream(300):
+            alg.update(upd.op, upd.u, upd.v)
+        assert len(alg.work_log) == 300
+        # O(delta) sparsifier ops + bounded chunks.
+        assert alg.max_work_per_update() <= 4 * alg.delta + 4 + 64
+
+    def test_delete_matched_edge_prunes(self, host):
+        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, rng=6)
+        for u, v in host.edges():
+            alg.insert(u, v)
+        matched = next(iter(alg.matching.edges()), None)
+        if matched is None:
+            pytest.skip("no matched edge yet")
+        u, v = matched
+        alg.delete(u, v)
+        assert alg.matching.partner(u) != v

@@ -1,0 +1,89 @@
+"""Tests for the Lemma 3.4 stability machinery."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.graph import DynamicGraph
+from repro.dynamic.stability import StabilityTracker, stability_factor
+from repro.graphs.generators import clique_union
+from repro.matching.blossom import mcm_exact
+from repro.matching.matching import Matching
+
+
+class TestFactor:
+    def test_formula(self):
+        assert stability_factor(0.1, 0.2) == pytest.approx(1.6)
+
+    def test_range_enforced(self):
+        with pytest.raises(ValueError):
+            stability_factor(0.6, 0.1)
+        with pytest.raises(ValueError):
+            stability_factor(0.1, -0.1)
+
+
+class TestTracker:
+    def test_delete_prunes(self):
+        m = Matching.from_edges(4, [(0, 1), (2, 3)])
+        t = StabilityTracker(m, epsilon=0.1)
+        t.on_delete(0, 1)
+        assert t.matching.size == 1
+        assert t.updates_seen == 1
+
+    def test_unmatched_delete_keeps(self):
+        m = Matching.from_edges(4, [(0, 1)])
+        t = StabilityTracker(m, epsilon=0.1)
+        t.on_delete(2, 3)
+        assert t.matching.size == 1
+
+    def test_insert_counts_only(self):
+        m = Matching.from_edges(4, [(0, 1)])
+        t = StabilityTracker(m, epsilon=0.1)
+        t.on_insert(2, 3)
+        assert t.matching.size == 1
+        assert t.epsilon_prime() == 1.0
+
+    def test_guaranteed_factor_inf_beyond_window(self):
+        m = Matching.from_edges(4, [(0, 1)])
+        t = StabilityTracker(m, epsilon=0.1)
+        for _ in range(2):
+            t.on_insert(2, 3)
+        assert t.guaranteed_factor() == float("inf")
+
+    def test_within_window(self):
+        m = Matching.from_edges(20, [(2 * i, 2 * i + 1) for i in range(10)])
+        t = StabilityTracker(m, epsilon=0.1)
+        for _ in range(2):
+            t.on_insert(0, 5)
+        assert t.within_window(0.2)  # floor(0.2*10)=2 >= 2
+        t.on_insert(0, 7)
+        assert not t.within_window(0.2)
+
+    def test_empty_matching_epsilon_prime(self):
+        t = StabilityTracker(Matching.empty(3), epsilon=0.1)
+        assert t.epsilon_prime() == 0.0
+        t.on_insert(0, 1)
+        assert t.epsilon_prime() == float("inf")
+
+
+class TestLemmaEmpirically:
+    def test_bound_holds_on_random_stream(self, rng):
+        """Carry an exact matching through a short window; the achieved
+        factor never exceeds the Lemma 3.4 certificate."""
+        host = clique_union(3, 10)
+        dyn = DynamicGraph(host.num_vertices)
+        for u, v in host.edges():
+            dyn.insert(u, v)
+        matching = mcm_exact(dyn.snapshot())
+        tracker = StabilityTracker(matching, epsilon=0.0)  # exact start
+        edges = list(host.edges())
+        for step in range(len(edges) // 4):
+            u, v = edges[step]
+            dyn.delete(u, v)
+            tracker.on_delete(u, v)
+            certified = tracker.guaranteed_factor()
+            if certified == float("inf"):
+                break
+            opt_now = mcm_exact(dyn.snapshot()).size
+            size_now = tracker.matching.size
+            if size_now:
+                assert opt_now / size_now <= certified + 1e-9

@@ -1,0 +1,178 @@
+"""Smoke + invariant tests: every experiment runs and its core claim holds.
+
+Each test uses deliberately tiny parameters so the full file stays fast;
+the benchmark harness runs the real sizes.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments import (
+    e1_quality,
+    e2_size_bound,
+    e3_arboricity,
+    e4_mcm_lower_bound,
+    e5_deterministic_lb,
+    e6_exactness_lb,
+    e7_sequential,
+    e8_distributed,
+    e9_messages,
+    e10_dynamic,
+    e11_ablations,
+    e12_output_sensitive,
+    e13_streaming,
+    e14_mpc,
+    e15_dynamic_distributed,
+    e16_scale,
+    e17_adaptive_separation,
+)
+
+
+def test_registry_complete():
+    assert sorted(REGISTRY, key=lambda k: int(k[1:])) == [
+        f"e{i}" for i in range(1, 18)
+    ]
+    assert all(callable(fn) for fn in REGISTRY.values())
+
+
+def test_e1_within_epsilon():
+    table = e1_quality.run(epsilons=(0.5,), trials=2, seed=1)
+    assert len(table.rows) == 5  # one per family
+    for row in table.rows:
+        worst, passed = row[5], row[7]
+        assert worst <= 1.5
+        assert passed == "2/2"
+
+
+def test_e2_bound_always_holds():
+    table = e2_size_bound.run(seed=2)
+    assert all(row[-1] for row in table.rows)
+
+
+def test_e3_bound_always_holds():
+    table = e3_arboricity.run(seed=3)
+    for row in table.rows:
+        lower, upper, holds = row[3], row[4], row[5]
+        assert lower <= upper
+        assert holds
+
+
+def test_e4_lemma_holds():
+    table = e4_mcm_lower_bound.run(seed=4)
+    assert all(row[-1] for row in table.rows)
+
+
+def test_e5_deterministic_matches_bound():
+    table = e5_deterministic_lb.run(sizes=(40,), deltas=(4,), seed=5)
+    det_ratio, paper_bound, rand_ratio = table.rows[0][2:5]
+    assert det_ratio >= paper_bound
+    assert rand_ratio <= 1.25
+
+
+def test_e6_empirical_tracks_closed_form():
+    table = e6_exactness_lb.run(half=25, deltas=(5, 20), trials=150, seed=6)
+    for row in table.rows:
+        closed, bound, empirical = row[2], row[3], row[4]
+        assert closed <= bound + 1e-9
+        assert abs(empirical - closed) < 0.15
+
+
+def test_e7_probe_fraction_falls_when_densifying():
+    table = e7_sequential.run(epsilon=0.4, seed=7)
+    densify = [row for row in table.rows if row[0] == "densify"]
+    assert densify[-1][5] < densify[0][5]  # probe fraction falls
+    assert all(row[6] <= 1.4 + 1e-9 for row in table.rows)  # ratio
+
+
+def test_e8_ours_beats_baseline_quality():
+    table = e8_distributed.run(sizes=(3,), clique_size=12, seed=8)
+    ours_ratio, base_ratio = table.rows[0][4], table.rows[0][5]
+    assert ours_ratio <= 1.34 + 1e-9
+    assert ours_ratio <= base_ratio + 1e-9
+
+
+def test_e9_message_fraction_falls():
+    table = e9_messages.run(clique_sizes=(20, 60), num_cliques=3, seed=9)
+    pipeline_rows = [row for row in table.rows
+                     if not str(row[0]).startswith("[")]
+    assert pipeline_rows[-1][4] < pipeline_rows[0][4]
+    contrast = {str(row[0]).split("]")[0].strip("["): row[5]
+                for row in table.rows if str(row[0]).startswith("[")}
+    assert contrast["broadcast round"] > contrast["unicast round"]
+
+
+def test_e10_ours_cheaper_than_baseline_at_density():
+    table = e10_dynamic.run(clique_sizes=(24,), num_cliques=3, steps=250,
+                            seed=10)
+    for row in table.rows:
+        ours_work, base_work, ours_ratio = row[2], row[3], row[4]
+        assert ours_work < base_work
+        assert ours_ratio <= 1.4 + 0.3
+
+
+def test_e11_deterministic_mutual_fails():
+    table = e11_ablations.run(constants=(0.5,), trials=2, seed=11)
+    rows = {row[1]: row for row in table.rows}
+    assert rows["mutual first-D (det.)"][3] > 1.5  # collapses
+    assert rows["union (ours)"][3] <= 1.31
+
+
+def test_e12_sharper_bound():
+    table = e12_output_sensitive.run(leaf_counts=(8, 16), num_stars=6,
+                                     seed=12)
+    for row in table.rows:
+        edges, sharp, naive, sharper = row[3], row[4], row[5], row[6]
+        assert edges <= sharp
+        assert sharper
+
+
+def test_e13_streaming_beats_greedy():
+    table = e13_streaming.run(clique_sizes=(16, 32), num_cliques=2, seed=13)
+    for row in table.rows:
+        ours_ratio, greedy_ratio, passes = row[4], row[5], row[6]
+        assert ours_ratio <= 1.31
+        assert ours_ratio <= greedy_ratio + 1e-9
+        assert passes == 1
+
+
+def test_e14_mpc_three_rounds_within_budget():
+    table = e14_mpc.run(clique_sizes=(20, 40), num_cliques=3, seed=14)
+    for row in table.rows:
+        rounds, max_load, budget, raw, ratio = row[2:]
+        assert rounds == 3
+        assert max_load <= budget
+        assert ratio <= 1.31
+
+
+def test_e15_message_bound_flat():
+    table = e15_dynamic_distributed.run(clique_sizes=(8, 16), steps=200,
+                                        delta=4, seed=15)
+    for row in table.rows:
+        max_msgs, bound = row[2], row[3]
+        assert max_msgs <= bound
+
+
+def test_e16_quality_and_shape():
+    table = e16_scale.run(total_vertices=1200, clique_sizes=(20, 40),
+                          delta=8, seed=16)
+    for row in table.rows:
+        assert row[6] <= 1.15  # ours ratio (greedy on sparsifier)
+
+
+def test_e17_thm35_safe_everywhere():
+    table = e17_adaptive_separation.run(clique_size=10, num_cliques=3,
+                                        steps=300, trials=1, seed=17)
+    for row in table.rows:
+        if row[0].startswith("Thm"):
+            assert row[2] <= 1.4 + 0.1
+
+
+def test_all_tables_render():
+    """Rendering never crashes for the tiny-parameter runs."""
+    tables = [
+        e4_mcm_lower_bound.run(seed=0),
+        e5_deterministic_lb.run(sizes=(20,), deltas=(2,), seed=0),
+    ]
+    for table in tables:
+        out = table.render()
+        assert table.title in out

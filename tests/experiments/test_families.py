@@ -1,0 +1,26 @@
+"""Tests for the shared experiment workloads: β certificates hold."""
+
+import pytest
+
+from repro.experiments.families import Family, standard_families
+from repro.graphs.neighborhood import is_beta_at_most
+
+
+def test_five_families():
+    families = standard_families()
+    assert len(families) == 5
+    assert all(isinstance(f, Family) for f in families)
+
+
+@pytest.mark.parametrize("family", standard_families(), ids=lambda f: f.name)
+def test_beta_certificate_holds(family):
+    graph = family.build(12345)
+    assert graph.num_vertices > 0
+    assert graph.num_edges > 0
+    assert is_beta_at_most(graph, family.beta, max_neighborhood=200)
+
+
+def test_scale_parameter_grows_instances():
+    small = standard_families(scale=1)[0].build(0)
+    large = standard_families(scale=2)[0].build(0)
+    assert large.num_vertices > small.num_vertices

@@ -1,0 +1,56 @@
+"""Tests for the statistical replication helpers."""
+
+import pytest
+
+from repro.experiments.stats import (
+    QualityReplication,
+    replicate_quality,
+    wilson_interval,
+)
+from repro.graphs.generators import clique_union
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(80, 100)
+        assert low <= 0.8 <= high
+
+    def test_degenerate_all_successes(self):
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+        assert low > 0.9
+
+    def test_zero_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    def test_narrows_with_trials(self):
+        low1, high1 = wilson_interval(8, 10)
+        low2, high2 = wilson_interval(800, 1000)
+        assert (high2 - low2) < (high1 - low1)
+
+
+class TestReplicateQuality:
+    def test_basic_replication(self):
+        g = clique_union(3, 20)
+        rep = replicate_quality(g, delta=6, epsilon=0.3, trials=10, rng=0)
+        assert rep.trials == 10
+        assert 0 <= rep.successes <= 10
+        assert rep.worst_ratio >= 1.0
+        assert rep.confidence_low <= rep.successes / 10 <= rep.confidence_high
+
+    def test_high_success_rate_at_sane_delta(self):
+        g = clique_union(3, 20)
+        rep = replicate_quality(g, delta=8, epsilon=0.3, trials=15, rng=1)
+        assert rep.successes == 15
+        assert rep.confidence_low > 0.7
+
+    def test_validation(self):
+        g = clique_union(1, 4)
+        with pytest.raises(ValueError):
+            replicate_quality(g, 2, 0.3, trials=0)

@@ -1,0 +1,54 @@
+"""Tests for the experiment table renderer."""
+
+import pytest
+
+from repro.experiments.tables import Table
+
+
+class TestTable:
+    def test_add_row_validates_arity(self):
+        t = Table(title="t", headers=["a", "b"])
+        t.add_row(1, 2)
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row(1)
+
+    def test_render_contains_everything(self):
+        t = Table(title="My Title", headers=["x", "ratio"],
+                  notes=["a note"])
+        t.add_row(10, 1.23456)
+        out = t.render()
+        assert "My Title" in out
+        assert "ratio" in out
+        assert "1.235" in out  # 4 significant digits
+        assert "note: a note" in out
+
+    def test_bool_formatting(self):
+        t = Table(title="t", headers=["ok"])
+        t.add_row(True)
+        t.add_row(False)
+        out = t.render()
+        assert "yes" in out and "no" in out
+
+    def test_special_floats(self):
+        t = Table(title="t", headers=["v"])
+        t.add_row(float("inf"))
+        t.add_row(float("nan"))
+        out = t.render()
+        assert "inf" in out and "nan" in out
+
+    def test_empty_table_renders(self):
+        t = Table(title="empty", headers=["h"])
+        assert "h" in t.render()
+
+    def test_str_is_render(self):
+        t = Table(title="t", headers=["a"])
+        assert str(t) == t.render()
+
+    def test_markdown(self):
+        t = Table(title="MD", headers=["x", "ok"], notes=["n1"])
+        t.add_row(3, True)
+        md = t.to_markdown()
+        assert "### MD" in md
+        assert "| x | ok |" in md
+        assert "| 3 | yes |" in md
+        assert "*n1*" in md

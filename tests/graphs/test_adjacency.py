@@ -1,0 +1,133 @@
+"""Tests for the adjacency-array graph (the sublinear data model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.graphs.builder import from_edges
+from repro.instrument.counters import Counter
+
+
+@pytest.fixture
+def small():
+    return from_edges(5, [(0, 1), (0, 2), (1, 2), (3, 4)])
+
+
+class TestAccessors:
+    def test_counts(self, small):
+        assert small.num_vertices == 5
+        assert small.num_edges == 4
+
+    def test_degree(self, small):
+        assert small.degree(0) == 2
+        assert small.degree(3) == 1
+
+    def test_degrees_bulk(self, small):
+        assert list(small.degrees()) == [2, 2, 2, 1, 1]
+
+    def test_neighbor_indexing(self, small):
+        nbrs = {small.neighbor(0, i) for i in range(small.degree(0))}
+        assert nbrs == {1, 2}
+
+    def test_neighbor_out_of_range(self, small):
+        with pytest.raises(IndexError):
+            small.neighbor(0, 2)
+        with pytest.raises(IndexError):
+            small.neighbor(0, -1)
+
+    def test_has_edge(self, small):
+        assert small.has_edge(0, 1)
+        assert small.has_edge(4, 3)
+        assert not small.has_edge(0, 3)
+        assert not small.has_edge(2, 2)
+
+    def test_edges_sorted_unique(self, small):
+        assert sorted(small.edges()) == [(0, 1), (0, 2), (1, 2), (3, 4)]
+
+    def test_edge_array_matches_edges(self, small):
+        arr = small.edge_array()
+        assert sorted(map(tuple, arr.tolist())) == sorted(small.edges())
+
+    def test_max_degree(self, small):
+        assert small.max_degree() == 2
+
+    def test_non_isolated_count(self):
+        g = from_edges(6, [(0, 1)])
+        assert g.non_isolated_count() == 2
+
+    def test_empty_graph(self):
+        g = from_edges(3, [])
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+        assert g.edge_array().shape == (0, 2)
+        assert g.max_degree() == 0
+
+    def test_zero_vertices(self):
+        g = from_edges(0, [])
+        assert g.num_vertices == 0
+        assert g.max_degree() == 0
+
+
+class TestProbeCounting:
+    def test_degree_and_neighbor_charge(self, small):
+        counter = Counter("probes")
+        g = small.with_probe_counter(counter)
+        g.degree(0)
+        g.neighbor(0, 0)
+        g.neighbor(0, 1)
+        assert counter.value == 3
+
+    def test_bulk_not_charged(self, small):
+        counter = Counter("probes")
+        g = small.with_probe_counter(counter)
+        list(g.edges())
+        g.degrees()
+        g.neighbors_array(0)
+        g.edge_array()
+        assert counter.value == 0
+
+    def test_with_probe_counter_shares_storage(self, small):
+        counter = Counter("probes")
+        g = small.with_probe_counter(counter)
+        assert g.indices is small.indices
+        assert g.indptr is small.indptr
+
+
+class TestValidation:
+    def test_bad_indptr_start(self):
+        with pytest.raises(ValueError):
+            AdjacencyArrayGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_indptr_indices_mismatch(self):
+        with pytest.raises(ValueError):
+            AdjacencyArrayGraph(np.array([0, 3]), np.array([1]))
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(ValueError):
+            AdjacencyArrayGraph(np.array([0, 2, 1]), np.array([1, 0]))
+
+    def test_wrong_dims(self):
+        with pytest.raises(ValueError):
+            AdjacencyArrayGraph(np.zeros((2, 2)), np.array([]))
+
+
+@settings(max_examples=40)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    edge_seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_edge_roundtrip(n, edge_seed):
+    """from_edges(edges(g)) reproduces the same graph."""
+    rng = np.random.default_rng(edge_seed)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < 0.3
+    ]
+    g = from_edges(n, edges)
+    g2 = from_edges(n, list(g.edges()))
+    assert np.array_equal(g.indptr, g2.indptr)
+    assert np.array_equal(g.indices, g2.indices)
+    assert sorted(g.edges()) == sorted(set(edges))

@@ -1,0 +1,81 @@
+"""Tests for degeneracy and arboricity bounds."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.arboricity import (
+    arboricity_exact_small,
+    arboricity_lower_bound,
+    arboricity_upper_bound,
+    degeneracy,
+)
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique, clique_union
+
+
+class TestDegeneracy:
+    def test_tree_is_one(self):
+        tree = from_edges(6, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)])
+        assert degeneracy(tree)[0] == 1
+
+    def test_clique(self):
+        assert degeneracy(clique(7))[0] == 6
+
+    def test_cycle_is_two(self):
+        cycle = from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+        assert degeneracy(cycle)[0] == 2
+
+    def test_empty(self):
+        assert degeneracy(from_edges(4, []))[0] == 0
+        assert degeneracy(from_edges(0, []))[0] == 0
+
+    def test_order_property(self):
+        """Every vertex has <= d neighbors later in the peel order."""
+        g = clique_union(2, 5)
+        d, order = degeneracy(g)
+        position = {int(v): i for i, v in enumerate(order)}
+        for v in range(g.num_vertices):
+            later = sum(
+                1 for u in g.neighbors_array(v)
+                if position[int(u)] > position[v]
+            )
+            assert later <= d
+
+
+class TestArboricityBounds:
+    def test_clique_exact(self):
+        # alpha(K_n) = ceil(n/2); for K_6 that is 3.
+        g = clique(6)
+        exact = arboricity_exact_small(g)
+        assert exact == 3
+        assert arboricity_lower_bound(g) <= exact <= arboricity_upper_bound(g)
+
+    def test_tree_is_one(self):
+        tree = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert arboricity_exact_small(tree) == 1
+
+    def test_tiny_graphs(self):
+        assert arboricity_exact_small(from_edges(1, [])) == 0
+        assert arboricity_exact_small(from_edges(2, [(0, 1)])) == 1
+
+    def test_exact_guard(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="too large"):
+            arboricity_exact_small(clique(20))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_sandwich(self, n, seed):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (u, v) for u in range(n) for v in range(u + 1, n)
+            if rng.random() < 0.5
+        ]
+        g = from_edges(n, edges)
+        exact = arboricity_exact_small(g)
+        assert arboricity_lower_bound(g) <= exact
+        assert exact <= max(1, arboricity_upper_bound(g)) or exact == 0

@@ -1,0 +1,92 @@
+"""Tests for graph construction and NetworkX interop."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.builder import (
+    from_edges,
+    from_networkx,
+    subgraph_from_edges,
+    to_networkx,
+    validate_edge_list,
+)
+
+
+class TestValidate:
+    def test_normalizes_orientation(self):
+        out = validate_edge_list([(2, 1), (1, 2)], 3)
+        assert out.tolist() == [[1, 2]]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            validate_edge_list([(1, 1)], 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            validate_edge_list([(0, 3)], 3)
+        with pytest.raises(ValueError, match="out of range"):
+            validate_edge_list([(-1, 0)], 3)
+
+    def test_empty(self):
+        assert validate_edge_list([], 3).shape == (0, 2)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError, match="shaped"):
+            validate_edge_list(np.array([[1, 2, 3]]), 5)
+
+
+class TestFromEdges:
+    def test_dedupes_parallel(self):
+        g = from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_negative_vertices(self):
+        with pytest.raises(ValueError):
+            from_edges(-1, [])
+
+    def test_neighbor_lists_sorted(self):
+        g = from_edges(4, [(0, 3), (0, 1), (0, 2)])
+        assert list(g.neighbors_array(0)) == [1, 2, 3]
+
+    def test_numpy_input(self):
+        g = from_edges(4, np.array([[0, 1], [2, 3]]))
+        assert g.num_edges == 2
+
+
+class TestNetworkx:
+    def test_roundtrip(self):
+        nxg = nx.petersen_graph()
+        g, index = from_networkx(nxg)
+        assert g.num_vertices == 10
+        assert g.num_edges == 15
+        back = to_networkx(g)
+        assert nx.is_isomorphic(back, nxg)
+
+    def test_relabeling(self):
+        nxg = nx.Graph([("a", "b"), ("b", "c")])
+        g, index = from_networkx(nxg)
+        assert g.num_vertices == 3
+        assert g.has_edge(index["a"], index["b"])
+        assert not g.has_edge(index["a"], index["c"])
+
+    def test_isolated_preserved(self):
+        nxg = nx.Graph()
+        nxg.add_nodes_from([0, 1, 2])
+        nxg.add_edge(0, 1)
+        g, _ = from_networkx(nxg)
+        assert g.num_vertices == 3
+        assert to_networkx(g).number_of_nodes() == 3
+
+
+class TestSubgraph:
+    def test_keeps_vertex_set(self):
+        g = from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        sub = subgraph_from_edges(g, [(0, 1)])
+        assert sub.num_vertices == 5
+        assert sub.num_edges == 1
+
+    def test_rejects_foreign_edge(self):
+        g = from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError, match="not present"):
+            subgraph_from_edges(g, [(1, 2)])

@@ -1,0 +1,197 @@
+"""Tests for the workload generators and their β certificates."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    beta_controlled_graph,
+    bounded_diversity_graph,
+    clique,
+    clique_minus_edge,
+    clique_union,
+    erdos_renyi,
+    grid_power_graph,
+    interval_graph,
+    line_graph,
+    overlapping_cliques,
+    quasi_unit_disk_graph,
+    random_bipartite,
+    random_line_graph,
+    two_cliques_with_bridge,
+    unit_disk_graph,
+)
+from repro.graphs.neighborhood import (
+    is_beta_at_most,
+    neighborhood_independence_exact,
+)
+from repro.matching.blossom import mcm_exact
+
+
+class TestCliques:
+    def test_clique_counts(self):
+        g = clique(6)
+        assert g.num_vertices == 6
+        assert g.num_edges == 15
+
+    def test_clique_zero_and_one(self):
+        assert clique(0).num_vertices == 0
+        assert clique(1).num_edges == 0
+
+    def test_clique_minus_edge(self):
+        g = clique_minus_edge(6, missing=(2, 4))
+        assert g.num_edges == 14
+        assert not g.has_edge(2, 4)
+        assert neighborhood_independence_exact(g) == 2
+
+    def test_clique_minus_edge_validation(self):
+        with pytest.raises(ValueError):
+            clique_minus_edge(1)
+        with pytest.raises(ValueError):
+            clique_minus_edge(5, missing=(1, 1))
+        with pytest.raises(ValueError):
+            clique_minus_edge(5, missing=(0, 9))
+
+    def test_clique_union(self):
+        g = clique_union(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 6
+        assert neighborhood_independence_exact(g) == 1
+        assert mcm_exact(g).size == 6
+
+    def test_two_cliques_with_bridge_structure(self):
+        g = two_cliques_with_bridge(5)
+        assert g.num_vertices == 10
+        assert g.has_edge(0, 5)
+        assert mcm_exact(g).size == 5
+        # Without the bridge, one vertex per odd clique stays free.
+        from repro.graphs.builder import from_edges
+
+        no_bridge = from_edges(
+            10, [e for e in g.edges() if e != (0, 5)]
+        )
+        assert mcm_exact(no_bridge).size == 4
+
+    def test_bridge_requires_odd(self):
+        with pytest.raises(ValueError):
+            two_cliques_with_bridge(4)
+        with pytest.raises(ValueError):
+            two_cliques_with_bridge(0)
+
+    def test_overlapping_cliques(self):
+        g = overlapping_cliques(3, 5, 2)
+        assert g.num_vertices == 5 + 2 * 3
+        assert is_beta_at_most(g, 2)
+        with pytest.raises(ValueError):
+            overlapping_cliques(2, 4, 4)
+
+
+class TestLineGraphs:
+    def test_triangle_line_graph(self):
+        lg, labels = line_graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert lg.num_vertices == 3
+        assert lg.num_edges == 3  # L(K3) = K3
+        assert labels == [(0, 1), (0, 2), (1, 2)]
+
+    def test_star_line_graph_is_clique(self):
+        lg, _ = line_graph(5, [(0, i) for i in range(1, 5)])
+        assert lg.num_edges == 6  # K4
+
+    def test_random_line_graph_beta(self):
+        g = random_line_graph(12, 0.5, rng=0)
+        assert neighborhood_independence_exact(g, max_neighborhood=80) <= 2
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            random_line_graph(5, 1.5)
+
+
+class TestGeometric:
+    def test_unit_disk_edges_respect_radius(self):
+        g, pts = unit_disk_graph(50, 4.0, radius=1.0, rng=1)
+        for u, v in g.edges():
+            assert np.linalg.norm(pts[u] - pts[v]) <= 1.0 + 1e-9
+        assert neighborhood_independence_exact(g, max_neighborhood=100) <= 5
+
+    def test_unit_disk_validation(self):
+        with pytest.raises(ValueError):
+            unit_disk_graph(-1, 1.0)
+        with pytest.raises(ValueError):
+            unit_disk_graph(5, 0.0)
+
+    def test_quasi_udg(self):
+        g, pts = quasi_unit_disk_graph(60, 4.0, 0.7, 1.0, rng=2)
+        for u, v in g.edges():
+            assert np.linalg.norm(pts[u] - pts[v]) <= 1.0 + 1e-9
+        with pytest.raises(ValueError):
+            quasi_unit_disk_graph(10, 4.0, 1.2, 1.0)
+
+
+class TestGrowth:
+    def test_interval_graph_beta(self):
+        g = interval_graph(40, 1.0, 10.0, rng=3)
+        assert neighborhood_independence_exact(g, max_neighborhood=80) <= 2
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            interval_graph(5, -1.0, 2.0)
+
+    def test_grid_power(self):
+        g = grid_power_graph(4, 1)
+        assert g.num_vertices == 16
+        assert g.num_edges == 24  # 4x4 grid
+        g2 = grid_power_graph(4, 2)
+        assert g2.num_edges > g.num_edges
+        with pytest.raises(ValueError):
+            grid_power_graph(0, 1)
+
+    def test_bounded_diversity_beta(self):
+        g = bounded_diversity_graph(10, 6, 3, rng=4)
+        assert neighborhood_independence_exact(g, max_neighborhood=80) <= 3
+        with pytest.raises(ValueError):
+            bounded_diversity_graph(0, 6, 3)
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_bounds(self):
+        g = erdos_renyi(20, 0.5, rng=5)
+        assert g.num_vertices == 20
+        assert 0 < g.num_edges < 190
+        assert erdos_renyi(10, 0.0, rng=5).num_edges == 0
+        assert erdos_renyi(10, 1.0, rng=5).num_edges == 45
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+
+    def test_random_bipartite_is_bipartite(self):
+        from repro.matching.hopcroft_karp import bipartition
+
+        g = random_bipartite(8, 9, 0.4, rng=6)
+        left, right = bipartition(g)
+        assert len(left) + len(right) == 17
+        with pytest.raises(ValueError):
+            random_bipartite(2, 2, -0.1)
+
+    def test_claw_free_complement_beta(self):
+        from repro.graphs.generators import claw_free_complement
+
+        g = claw_free_complement(30, rng=8)
+        assert g.num_edges > 2 * ((15 * 14) // 2)  # both halves are cliques
+        assert neighborhood_independence_exact(g, max_neighborhood=40) <= 2
+
+    def test_claw_free_complement_edge_cases(self):
+        from repro.graphs.generators import claw_free_complement
+
+        assert claw_free_complement(0, rng=9).num_vertices == 0
+        assert claw_free_complement(1, rng=9).num_edges == 0
+        with pytest.raises(ValueError):
+            claw_free_complement(-1)
+
+    @pytest.mark.parametrize("beta", [1, 2, 3, 4])
+    def test_beta_controlled_exact(self, beta):
+        g = beta_controlled_graph(6, 8, beta, rng=7)
+        assert neighborhood_independence_exact(g, max_neighborhood=80) == beta
+
+    def test_beta_controlled_validation(self):
+        with pytest.raises(ValueError):
+            beta_controlled_graph(2, 8, 3)  # num_blocks < beta
+        with pytest.raises(ValueError):
+            beta_controlled_graph(6, 2, 3)  # block_size < beta

@@ -1,0 +1,125 @@
+"""Tests for the neighborhood independence number β(G)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import (
+    clique,
+    clique_minus_edge,
+    clique_union,
+    line_graph,
+)
+from repro.graphs.neighborhood import (
+    is_beta_at_most,
+    neighborhood_independence_exact,
+    neighborhood_independence_greedy,
+    neighborhood_independence_upper,
+)
+
+
+class TestKnownValues:
+    def test_clique_is_one(self):
+        assert neighborhood_independence_exact(clique(8)) == 1
+
+    def test_clique_union_is_one(self):
+        assert neighborhood_independence_exact(clique_union(3, 5)) == 1
+
+    def test_clique_minus_edge_is_two(self):
+        assert neighborhood_independence_exact(clique_minus_edge(8)) == 2
+
+    def test_star_is_leaf_count(self):
+        star = from_edges(6, [(0, i) for i in range(1, 6)])
+        assert neighborhood_independence_exact(star) == 5
+
+    def test_path_is_two(self):
+        path = from_edges(5, [(i, i + 1) for i in range(4)])
+        assert neighborhood_independence_exact(path) == 2
+
+    def test_line_graph_at_most_two(self):
+        host_edges = [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4)]
+        lg, _ = line_graph(5, host_edges)
+        assert neighborhood_independence_exact(lg) <= 2
+
+    def test_edgeless_is_zero(self):
+        assert neighborhood_independence_exact(from_edges(4, [])) == 0
+
+    def test_single_edge(self):
+        assert neighborhood_independence_exact(from_edges(2, [(0, 1)])) == 1
+
+
+class TestBoundsAgree:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=14),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_greedy_le_exact_le_upper(self, n, seed):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (u, v) for u in range(n) for v in range(u + 1, n)
+            if rng.random() < 0.4
+        ]
+        g = from_edges(n, edges)
+        exact = neighborhood_independence_exact(g)
+        assert neighborhood_independence_greedy(g) <= exact
+        assert exact <= neighborhood_independence_upper(g)
+
+    def test_greedy_with_rng(self):
+        g = clique_union(2, 6)
+        assert neighborhood_independence_greedy(
+            g, rng=np.random.default_rng(0)
+        ) == 1
+
+
+class TestIsBetaAtMost:
+    def test_true_and_false(self):
+        star = from_edges(5, [(0, i) for i in range(1, 5)])
+        assert is_beta_at_most(star, 4)
+        assert not is_beta_at_most(star, 3)
+
+    def test_skips_small_degrees(self):
+        path = from_edges(3, [(0, 1), (1, 2)])
+        assert is_beta_at_most(path, 2)
+
+    def test_guard_raises(self):
+        star = from_edges(8, [(0, i) for i in range(1, 8)])
+        with pytest.raises(ValueError, match="max_neighborhood"):
+            is_beta_at_most(star, 1, max_neighborhood=5)
+
+
+def test_exact_guard_raises():
+    star = from_edges(10, [(0, i) for i in range(1, 10)])
+    with pytest.raises(ValueError, match="max_neighborhood"):
+        neighborhood_independence_exact(star, max_neighborhood=5)
+
+
+class TestSampledEstimate:
+    def test_lower_bound_property(self):
+        from repro.graphs.neighborhood import neighborhood_independence_sampled
+
+        g = clique_union(3, 8)
+        est = neighborhood_independence_sampled(g, rng=0)
+        assert est <= neighborhood_independence_exact(g) == 1
+        assert est >= 1
+
+    def test_finds_true_beta_on_star(self):
+        from repro.graphs.neighborhood import neighborhood_independence_sampled
+
+        star = from_edges(9, [(0, i) for i in range(1, 9)])
+        # Degree bias makes the center near-certain to be sampled.
+        assert neighborhood_independence_sampled(star, rng=1) == 8
+
+    def test_empty_graphs(self):
+        from repro.graphs.neighborhood import neighborhood_independence_sampled
+
+        assert neighborhood_independence_sampled(from_edges(0, []), rng=2) == 0
+        assert neighborhood_independence_sampled(from_edges(4, []), rng=3) == 0
+
+    def test_guard(self):
+        from repro.graphs.neighborhood import neighborhood_independence_sampled
+
+        star = from_edges(12, [(0, i) for i in range(1, 12)])
+        with pytest.raises(ValueError, match="max_neighborhood"):
+            neighborhood_independence_sampled(star, rng=4, max_neighborhood=5)

@@ -1,0 +1,95 @@
+"""Unit and property tests for the O(1)-init sparse array."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graphs.sparse_array import SparseArray
+
+
+class TestBasics:
+    def test_initial_default(self):
+        a = SparseArray(5, default=7)
+        assert all(a[i] == 7 for i in range(5))
+
+    def test_set_get(self):
+        a = SparseArray(10)
+        a[3] = 42
+        assert a[3] == 42
+        assert a[4] == 0
+
+    def test_len(self):
+        assert len(SparseArray(17)) == 17
+
+    def test_zero_length(self):
+        a = SparseArray(0)
+        assert len(a) == 0
+        with pytest.raises(IndexError):
+            a[0]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            SparseArray(-1)
+
+    def test_negative_index_wraps(self):
+        a = SparseArray(5)
+        a[-1] = 9
+        assert a[4] == 9
+
+    def test_out_of_range(self):
+        a = SparseArray(3)
+        with pytest.raises(IndexError):
+            a[3]
+        with pytest.raises(IndexError):
+            a[-4] = 1
+
+    def test_is_written(self):
+        a = SparseArray(4)
+        assert not a.is_written(2)
+        a[2] = 0  # writing the default value still counts as written
+        assert a.is_written(2)
+
+    def test_written_count(self):
+        a = SparseArray(10)
+        a[1] = 5
+        a[1] = 6
+        a[2] = 7
+        assert a.written_count() == 2
+
+    def test_clear(self):
+        a = SparseArray(4, default=3)
+        a[0] = 1
+        a.clear()
+        assert a[0] == 3
+        assert a.written_count() == 0
+
+    def test_iter(self):
+        a = SparseArray(3, default=1)
+        a[1] = 5
+        assert list(a) == [1, 5, 1]
+
+    def test_overwrite(self):
+        a = SparseArray(2)
+        a[0] = 1
+        a[0] = 2
+        assert a[0] == 2
+
+
+@given(
+    length=st.integers(min_value=1, max_value=50),
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=49), st.integers()),
+        max_size=60,
+    ),
+    default=st.integers(),
+)
+def test_matches_dict_reference(length, ops, default):
+    """SparseArray behaves exactly like a default-dict-backed array."""
+    arr = SparseArray(length, default=default)
+    model: dict[int, int] = {}
+    for index, value in ops:
+        index %= length
+        arr[index] = value
+        model[index] = value
+    for i in range(length):
+        assert arr[i] == model.get(i, default)
+    assert arr.written_count() == len(model)

@@ -1,0 +1,73 @@
+"""Tests for the phase-limited approximate matcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique_union, erdos_renyi
+from repro.matching.approx import mcm_approx, sweeps_for_epsilon
+from repro.matching.blossom import mcm_exact
+
+
+class TestSweepsForEpsilon:
+    def test_values(self):
+        assert sweeps_for_epsilon(1.0) == 2
+        assert sweeps_for_epsilon(0.5) == 3
+        assert sweeps_for_epsilon(0.25) == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sweeps_for_epsilon(0.0)
+        with pytest.raises(ValueError):
+            sweeps_for_epsilon(-1.0)
+
+
+class TestMcmApprox:
+    def test_exhaustion_is_exact(self):
+        g = erdos_renyi(20, 0.3, rng=0)
+        assert mcm_approx(g).size == mcm_exact(g).size
+
+    def test_both_args_rejected(self, triangle):
+        with pytest.raises(ValueError, match="at most one"):
+            mcm_approx(triangle, epsilon=0.5, sweeps=2)
+
+    def test_negative_sweeps_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            mcm_approx(triangle, sweeps=-1)
+
+    def test_zero_sweeps_is_greedy_maximal(self, path4):
+        m = mcm_approx(path4, sweeps=0)
+        assert m.is_maximal_for(path4)
+
+    def test_epsilon_beats_two_approx(self):
+        g = clique_union(3, 10)
+        opt = mcm_exact(g).size
+        m = mcm_approx(g, epsilon=0.2, rng=1)
+        assert opt <= (1 + 0.2) * m.size
+
+    def test_valid_and_maximal(self, petersen):
+        m = mcm_approx(petersen, epsilon=0.5)
+        assert m.is_valid_for(petersen)
+        assert m.is_maximal_for(petersen)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=18),
+    p=st.floats(min_value=0.1, max_value=0.9),
+    eps=st.sampled_from([0.5, 0.34, 0.2]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_approximation_factor_empirical(n, p, eps, seed):
+    """The (1+eps) factor holds empirically across random graphs."""
+    rng = np.random.default_rng(seed)
+    edges = [
+        (u, v) for u in range(n) for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    g = from_edges(n, edges)
+    opt = mcm_exact(g).size
+    approx = mcm_approx(g, epsilon=eps, rng=rng)
+    assert approx.is_valid_for(g)
+    assert opt <= (1 + eps) * approx.size + 1e-9

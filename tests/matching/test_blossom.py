@@ -1,0 +1,93 @@
+"""Tests for the exact blossom matcher — validated against NetworkX."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.builder import from_edges, to_networkx
+from repro.graphs.generators import clique, two_cliques_with_bridge
+from repro.matching.blossom import augment_from_free_vertices, mcm_exact
+from repro.matching.greedy import greedy_maximal_matching
+from repro.matching.matching import Matching
+
+
+class TestSmallGraphs:
+    def test_empty(self):
+        assert mcm_exact(from_edges(3, [])).size == 0
+
+    def test_single_edge(self):
+        assert mcm_exact(from_edges(2, [(0, 1)])).size == 1
+
+    def test_path4_finds_perfect(self, path4):
+        assert mcm_exact(path4).size == 2
+
+    def test_triangle(self, triangle):
+        assert mcm_exact(triangle).size == 1
+
+    def test_odd_cycle(self):
+        c7 = from_edges(7, [(i, (i + 1) % 7) for i in range(7)])
+        assert mcm_exact(c7).size == 3
+
+    def test_petersen_perfect(self, petersen):
+        assert mcm_exact(petersen).size == 5
+
+    def test_two_triangles_bridged(self):
+        """Classic blossom case: matching must cross between blossoms."""
+        g = from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+        assert mcm_exact(g).size == 3
+
+    def test_clique_floor(self):
+        assert mcm_exact(clique(9)).size == 4
+
+    def test_bridge_instance(self):
+        assert mcm_exact(two_cliques_with_bridge(5)).size == 5
+
+
+class TestWarmStart:
+    def test_warm_start_same_size(self, petersen):
+        warm = greedy_maximal_matching(petersen)
+        assert mcm_exact(petersen, warm_start=warm).size == 5
+
+    def test_empty_warm_start(self, petersen):
+        assert mcm_exact(petersen, warm_start=Matching.empty(10)).size == 5
+
+    def test_wrong_size_warm_start(self, petersen):
+        with pytest.raises(ValueError, match="wrong vertex count"):
+            mcm_exact(petersen, warm_start=Matching.empty(3))
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=24),
+        p=st.floats(min_value=0.05, max_value=0.95),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_random_graphs(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (u, v) for u in range(n) for v in range(u + 1, n)
+            if rng.random() < p
+        ]
+        g = from_edges(n, edges)
+        ours = mcm_exact(g)
+        theirs = nx.max_weight_matching(to_networkx(g), maxcardinality=True)
+        assert ours.size == len(theirs)
+        assert ours.is_valid_for(g)
+        assert ours.is_maximal_for(g)
+
+
+class TestAugmentBudget:
+    def test_budget_limits_augmentations(self):
+        g = from_edges(8, [(0, 1), (2, 3), (4, 5), (6, 7)])
+        mate = np.full(8, -1, dtype=np.int64)
+        done = augment_from_free_vertices(g, mate, max_augmentations=2)
+        assert done == 2
+        assert Matching(mate).size == 2
+
+    def test_budget_none_exact(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        mate = np.full(4, -1, dtype=np.int64)
+        augment_from_free_vertices(g, mate)
+        assert Matching(mate).size == 2

@@ -1,0 +1,112 @@
+"""Tests for Gallai–Edmonds and maximum-matching certification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.builder import from_edges
+from repro.matching.blossom import mcm_exact
+from repro.matching.gallai_edmonds import (
+    gallai_edmonds_decomposition,
+    is_maximum_matching,
+)
+from repro.matching.greedy import greedy_maximal_matching
+from repro.matching.matching import Matching
+
+
+class TestBergeCertificate:
+    def test_accepts_maximum(self, petersen):
+        assert is_maximum_matching(petersen, mcm_exact(petersen))
+
+    def test_rejects_submaximum(self, path4):
+        middle_only = Matching.from_edges(4, [(1, 2)])
+        assert not is_maximum_matching(path4, middle_only)
+
+    def test_rejects_invalid(self, path4):
+        with pytest.raises(ValueError, match="not valid"):
+            is_maximum_matching(path4, Matching.from_edges(4, [(0, 3)]))
+
+    def test_empty_graph(self):
+        g = from_edges(3, [])
+        assert is_maximum_matching(g, Matching.empty(3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=14),
+        p=st.floats(min_value=0.1, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_agrees_with_size_comparison(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (u, v) for u in range(n) for v in range(u + 1, n)
+            if rng.random() < p
+        ]
+        g = from_edges(n, edges)
+        opt = mcm_exact(g)
+        greedy = greedy_maximal_matching(g, rng=rng)
+        assert is_maximum_matching(g, opt)
+        assert is_maximum_matching(g, greedy) == (greedy.size == opt.size)
+
+
+class TestDecompositionKnownStructures:
+    def test_odd_cycle_all_d(self):
+        """An odd cycle is factor-critical: every vertex is in D."""
+        c5 = from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+        ge = gallai_edmonds_decomposition(c5)
+        assert set(ge.d) == set(range(5))
+        assert ge.a == () and ge.c == ()
+
+    def test_perfectly_matchable_all_c(self):
+        """Even cycle has a perfect matching and no deficiency: D empty."""
+        c6 = from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        ge = gallai_edmonds_decomposition(c6)
+        assert ge.d == () and ge.a == ()
+        assert set(ge.c) == set(range(6))
+
+    def test_star(self):
+        """K_{1,3}: leaves are in D, the center is A."""
+        star = from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        ge = gallai_edmonds_decomposition(star)
+        assert set(ge.d) == {1, 2, 3}
+        assert ge.a == (0,)
+        assert ge.mcm_size == 1
+
+    def test_single_edge(self):
+        g = from_edges(2, [(0, 1)])
+        ge = gallai_edmonds_decomposition(g)
+        assert set(ge.c) == {0, 1}
+
+    def test_isolated_vertices_in_d(self):
+        g = from_edges(3, [(0, 1)])
+        ge = gallai_edmonds_decomposition(g)
+        assert 2 in ge.d
+
+    def test_partition_is_exact(self):
+        g = from_edges(6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)])
+        ge = gallai_edmonds_decomposition(g)
+        assert sorted(ge.d + ge.a + ge.c) == list(range(6))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=11),
+    p=st.floats(min_value=0.1, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_d_matches_deletion_definition(n, p, seed):
+    """v in D(G) iff deleting v does not decrease the MCM size."""
+    rng = np.random.default_rng(seed)
+    edges = [
+        (u, v) for u in range(n) for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    g = from_edges(n, edges)
+    opt = mcm_exact(g).size
+    ge = gallai_edmonds_decomposition(g)
+    for v in range(n):
+        reduced = from_edges(
+            n, [e for e in edges if v not in e]
+        )
+        unchanged = mcm_exact(reduced).size == opt
+        assert (v in ge.d) == unchanged, (v, sorted(edges))

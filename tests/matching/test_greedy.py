@@ -1,0 +1,52 @@
+"""Tests for the greedy maximal matching."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique_union
+from repro.matching.blossom import mcm_exact
+from repro.matching.greedy import greedy_maximal_matching
+
+
+class TestGreedy:
+    def test_empty_graph(self):
+        assert greedy_maximal_matching(from_edges(3, [])).size == 0
+
+    def test_deterministic_without_rng(self):
+        g = clique_union(2, 6)
+        a = greedy_maximal_matching(g)
+        b = greedy_maximal_matching(g)
+        assert a == b
+
+    def test_randomized_is_valid(self, rng):
+        g = clique_union(2, 6)
+        m = greedy_maximal_matching(g, rng=rng)
+        assert m.is_valid_for(g)
+        assert m.is_maximal_for(g)
+
+    def test_p4_trap(self, path4):
+        """Greedy may pick the middle edge; still maximal, half-optimal."""
+        m = greedy_maximal_matching(path4)
+        assert m.is_maximal_for(path4)
+        assert m.size >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_two_approximation(n, p, seed):
+    """Maximality and the classical |M| >= |MCM|/2 bound."""
+    rng = np.random.default_rng(seed)
+    edges = [
+        (u, v) for u in range(n) for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    g = from_edges(n, edges)
+    m = greedy_maximal_matching(g, rng=rng)
+    assert m.is_valid_for(g)
+    assert m.is_maximal_for(g)
+    assert 2 * m.size >= mcm_exact(g).size

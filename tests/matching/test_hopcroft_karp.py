@@ -1,0 +1,64 @@
+"""Tests for the bipartite Hopcroft–Karp matcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import random_bipartite
+from repro.matching.blossom import mcm_exact
+from repro.matching.hopcroft_karp import bipartition, hopcroft_karp
+
+
+class TestBipartition:
+    def test_path(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        left, right = bipartition(g)
+        assert set(left) == {0, 2}
+        assert set(right) == {1, 3}
+
+    def test_isolated_go_left(self):
+        g = from_edges(3, [(0, 1)])
+        left, _ = bipartition(g)
+        assert 2 in left
+
+    def test_odd_cycle_raises(self, triangle):
+        with pytest.raises(ValueError, match="not bipartite"):
+            bipartition(triangle)
+
+
+class TestHopcroftKarp:
+    def test_perfect_on_even_cycle(self):
+        g = from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        assert hopcroft_karp(g).size == 3
+
+    def test_star(self):
+        g = from_edges(5, [(0, i) for i in range(1, 5)])
+        assert hopcroft_karp(g).size == 1
+
+    def test_empty(self):
+        assert hopcroft_karp(from_edges(4, [])).size == 0
+
+    def test_non_bipartite_raises(self, triangle):
+        with pytest.raises(ValueError):
+            hopcroft_karp(triangle)
+
+    def test_long_path_recursion(self):
+        """Deep augmenting path exercises the recursion-limit handling."""
+        n = 3000
+        g = from_edges(n, [(i, i + 1) for i in range(n - 1)])
+        assert hopcroft_karp(g).size == n // 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    left=st.integers(min_value=1, max_value=12),
+    right=st.integers(min_value=1, max_value=12),
+    p=st.floats(min_value=0.05, max_value=0.95),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_matches_blossom_on_bipartite(left, right, p, seed):
+    g = random_bipartite(left, right, p, rng=np.random.default_rng(seed))
+    hk = hopcroft_karp(g)
+    assert hk.size == mcm_exact(g).size
+    assert hk.is_valid_for(g)

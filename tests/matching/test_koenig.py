@@ -1,0 +1,72 @@
+"""Tests for König vertex-cover certificates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import random_bipartite
+from repro.matching.greedy import greedy_maximal_matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.koenig import koenig_certificate, minimum_vertex_cover
+from repro.matching.matching import Matching
+
+
+class TestMinimumVertexCover:
+    def test_path(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        cover = minimum_vertex_cover(g)
+        assert len(cover) == 2
+        cover_set = set(cover)
+        assert all(u in cover_set or v in cover_set for u, v in g.edges())
+
+    def test_star_cover_is_center(self):
+        g = from_edges(5, [(0, i) for i in range(1, 5)])
+        assert minimum_vertex_cover(g) == (0,)
+
+    def test_empty_graph(self):
+        g = from_edges(3, [])
+        assert minimum_vertex_cover(g) == ()
+
+    def test_non_bipartite_raises(self, triangle):
+        with pytest.raises(ValueError, match="not bipartite"):
+            minimum_vertex_cover(triangle)
+
+    def test_non_maximum_matching_rejected(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(ValueError):
+            minimum_vertex_cover(g, Matching.from_edges(4, [(1, 2)]))
+
+
+class TestCertificate:
+    def test_accepts_hk(self):
+        g = random_bipartite(8, 9, 0.4, rng=0)
+        assert koenig_certificate(g, hopcroft_karp(g))
+
+    def test_rejects_submaximum(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert not koenig_certificate(g, Matching.from_edges(4, [(1, 2)]))
+
+    def test_non_bipartite_still_raises(self, triangle):
+        with pytest.raises(ValueError, match="not bipartite"):
+            koenig_certificate(triangle, Matching.empty(3))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    left=st.integers(min_value=1, max_value=10),
+    right=st.integers(min_value=1, max_value=10),
+    p=st.floats(min_value=0.05, max_value=0.95),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_koenig_equality_random_bipartite(left, right, p, seed):
+    """|min vertex cover| == |max matching| and the cover covers."""
+    g = random_bipartite(left, right, p, rng=np.random.default_rng(seed))
+    hk = hopcroft_karp(g)
+    cover = minimum_vertex_cover(g, hk)
+    assert len(cover) == hk.size
+    cover_set = set(cover)
+    assert all(u in cover_set or v in cover_set for u, v in g.edges())
+    # And the certificate correctly classifies greedy.
+    greedy = greedy_maximal_matching(g, rng=np.random.default_rng(seed))
+    assert koenig_certificate(g, greedy) == (greedy.size == hk.size)

@@ -1,0 +1,90 @@
+"""Tests for the Matching container."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builder import from_edges
+from repro.matching.matching import Matching, verify_matching
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = Matching.empty(5)
+        assert m.size == 0
+        assert list(m.free_vertices()) == [0, 1, 2, 3, 4]
+
+    def test_from_edges(self):
+        m = Matching.from_edges(4, [(0, 1), (2, 3)])
+        assert m.size == 2
+        assert m.partner(0) == 1
+        assert m.partner(3) == 2
+
+    def test_from_edges_conflict(self):
+        with pytest.raises(ValueError, match="shares an endpoint"):
+            Matching.from_edges(4, [(0, 1), (1, 2)])
+
+    def test_from_edges_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Matching.from_edges(3, [(1, 1)])
+
+    def test_involution_enforced(self):
+        bad = np.array([1, -1, -1], dtype=np.int64)  # 0->1 but 1->-1
+        with pytest.raises(ValueError, match="involution"):
+            Matching(bad)
+
+    def test_self_match_rejected(self):
+        bad = np.array([0, -1], dtype=np.int64)
+        with pytest.raises(ValueError):
+            Matching(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Matching(np.array([5, -1], dtype=np.int64))
+        with pytest.raises(ValueError):
+            Matching(np.array([-2], dtype=np.int64))
+
+
+class TestQueries:
+    def test_edges_iteration(self):
+        m = Matching.from_edges(6, [(4, 1), (2, 5)])
+        assert sorted(m.edges()) == [(1, 4), (2, 5)]
+
+    def test_matched_and_free(self):
+        m = Matching.from_edges(5, [(0, 3)])
+        assert m.is_matched(0) and m.is_matched(3)
+        assert not m.is_matched(1)
+        assert list(m.matched_vertices()) == [0, 3]
+        assert list(m.free_vertices()) == [1, 2, 4]
+
+    def test_copy_independent(self):
+        m = Matching.from_edges(4, [(0, 1)])
+        c = m.copy()
+        c.mate[0] = -1
+        assert m.partner(0) == 1
+
+    def test_equality(self):
+        a = Matching.from_edges(4, [(0, 1)])
+        b = Matching.from_edges(4, [(0, 1)])
+        c = Matching.from_edges(4, [(2, 3)])
+        assert a == b
+        assert a != c
+        assert a != "not a matching"
+
+
+class TestVerification:
+    def test_valid_for(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        assert Matching.from_edges(4, [(0, 1)]).is_valid_for(g)
+        assert not Matching.from_edges(4, [(0, 2)]).is_valid_for(g)
+        assert not Matching.from_edges(3, []).is_valid_for(g)  # wrong n
+
+    def test_maximal_for(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert Matching.from_edges(4, [(1, 2)]).is_maximal_for(g)
+        assert not Matching.from_edges(4, [(0, 1)]).is_maximal_for(g)
+
+    def test_verify_matching_raises(self):
+        g = from_edges(3, [(0, 1)])
+        verify_matching(g, Matching.from_edges(3, [(0, 1)]))
+        with pytest.raises(AssertionError):
+            verify_matching(g, Matching.from_edges(3, [(1, 2)]))

@@ -1,0 +1,76 @@
+"""Tests for the MPC round simulator."""
+
+import pytest
+
+from repro.mpc.simulator import MachineOverflowError, MPCSimulator, _words
+
+
+class TestWordCounting:
+    def test_scalars(self):
+        assert _words(None) == 0
+        assert _words(5) == 1
+        assert _words("x") == 1
+
+    def test_tuples_and_lists(self):
+        assert _words(("edge", 1, 2)) == 3
+        assert _words([("a", 1), ("b", 2)]) == 4
+
+    def test_dict(self):
+        assert _words({1: (2, 3)}) == 3  # key word + 2-word value
+
+
+class TestSimulator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MPCSimulator(0, 10)
+        with pytest.raises(ValueError):
+            MPCSimulator(2, 0)
+
+    def test_load_and_state(self):
+        sim = MPCSimulator(2, 100)
+        sim.load(0, [(1, 2)])
+        assert sim.state(0) == [(1, 2)]
+        assert sim.state(1) is None
+
+    def test_load_overflow(self):
+        sim = MPCSimulator(1, 3)
+        with pytest.raises(MachineOverflowError):
+            sim.load(0, [(1, 2), (3, 4)])
+
+    def test_round_routing(self):
+        sim = MPCSimulator(2, 100)
+        sim.load(0, [1, 2, 3])
+        sim.load(1, [])
+
+        def forward(machine, state):
+            return [(1 - machine, x) for x in state or []]
+
+        sim.round(forward)
+        assert sim.state(1) == [1, 2, 3]
+        assert sim.state(0) == []
+        assert sim.rounds_executed == 1
+
+    def test_round_overflow(self):
+        sim = MPCSimulator(2, 2)
+        sim.load(0, [1, 2])
+
+        def flood(machine, state):
+            return [(1, x) for x in (state or [])] + [(1, 99)]
+
+        with pytest.raises(MachineOverflowError):
+            sim.round(flood)
+
+    def test_unknown_destination(self):
+        sim = MPCSimulator(2, 100)
+        sim.load(0, [1])
+
+        def bad(machine, state):
+            return [(5, 1)] if machine == 0 else []
+
+        with pytest.raises(ValueError, match="unknown machine"):
+            sim.round(bad)
+
+    def test_max_load_tracked(self):
+        sim = MPCSimulator(2, 100)
+        sim.load(0, [1, 2, 3, 4])
+        assert sim.max_load_seen == 4

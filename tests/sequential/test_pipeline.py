@@ -1,0 +1,94 @@
+"""Tests for the Theorem 3.1 sequential pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import DeltaPolicy
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique_union, random_line_graph, unit_disk_graph
+from repro.matching.blossom import mcm_exact
+from repro.sequential.pipeline import approximate_matching, sublinearity_certificate
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("eps", [0.5, 0.3])
+    def test_quality_clique_union(self, eps):
+        g = clique_union(3, 24)
+        opt = mcm_exact(g).size
+        result = approximate_matching(g, beta=1, epsilon=eps, rng=0)
+        assert result.matching.is_valid_for(g)
+        assert opt <= (1 + eps) * result.matching.size
+
+    def test_quality_line_graph(self):
+        g = random_line_graph(16, 0.5, rng=1)
+        opt = mcm_exact(g).size
+        result = approximate_matching(g, beta=2, epsilon=0.3, rng=2)
+        assert opt <= 1.3 * result.matching.size
+
+    def test_quality_unit_disk(self):
+        g, _ = unit_disk_graph(120, 4.0, rng=3)
+        opt = mcm_exact(g).size
+        result = approximate_matching(g, beta=5, epsilon=0.5, rng=4)
+        assert opt <= 1.5 * result.matching.size
+
+    def test_phases_matcher(self):
+        g = clique_union(3, 24)
+        opt = mcm_exact(g).size
+        result = approximate_matching(g, beta=1, epsilon=0.3, rng=5,
+                                      matcher="phases")
+        assert result.matching.is_valid_for(g)
+        assert opt <= 1.3 * result.matching.size
+
+    def test_unknown_matcher(self):
+        g = clique_union(1, 4)
+        with pytest.raises(ValueError, match="unknown matcher"):
+            approximate_matching(g, 1, 0.3, matcher="bogus")
+
+    def test_empty_graph(self):
+        g = from_edges(5, [])
+        result = approximate_matching(g, beta=1, epsilon=0.5, rng=6)
+        assert result.matching.size == 0
+
+
+class TestProbeAccounting:
+    def test_probe_count_deterministic(self):
+        """pos_array sampler: probes = n * (1 + min(delta, deg))."""
+        g = clique_union(2, 30)  # all degrees 29
+        policy = DeltaPolicy(constant=0.5)
+        result = approximate_matching(g, 1, 0.5, rng=7, policy=policy)
+        expected = g.num_vertices * (1 + min(result.delta, 29))
+        assert result.probes == expected
+
+    def test_sublinear_on_dense(self):
+        """probes << 2m once cliques are much bigger than delta."""
+        g = clique_union(2, 120)
+        policy = DeltaPolicy(constant=0.5)
+        result = approximate_matching(g, 1, 0.5, rng=8, policy=policy)
+        cert = sublinearity_certificate(g, result)
+        assert cert["probe_fraction"] < 0.25
+
+    def test_certificate_fields(self):
+        g = clique_union(1, 10)
+        result = approximate_matching(g, 1, 0.5, rng=9)
+        cert = sublinearity_certificate(g, result)
+        assert set(cert) == {"probes", "input_size", "probe_fraction", "delta"}
+        assert cert["input_size"] == 2.0 * g.num_edges
+
+    def test_certificate_empty_graph(self):
+        g = from_edges(3, [])
+        result = approximate_matching(g, 1, 0.5, rng=10)
+        assert sublinearity_certificate(g, result)["probe_fraction"] == 0.0
+
+    def test_sparsifier_edges_reported(self):
+        g = clique_union(2, 20)
+        result = approximate_matching(g, 1, 0.4, rng=11)
+        assert 0 < result.sparsifier_edges <= g.num_edges
+
+
+class TestSharperBound:
+    def test_output_sensitive_size(self):
+        """Obs 2.10 bound on the pipeline's sparsifier size."""
+        g = clique_union(3, 30)
+        opt = mcm_exact(g).size
+        result = approximate_matching(g, 1, 0.3, rng=12)
+        assert result.sparsifier_edges <= 2 * opt * (result.delta + 1)

@@ -1,0 +1,66 @@
+"""Tests for the semi-streaming matchers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.e8_distributed import trap_graph
+from repro.graphs.generators import clique_union
+from repro.matching.blossom import mcm_exact
+from repro.streaming.matching import (
+    streaming_approx_matching,
+    streaming_greedy_matching,
+)
+from repro.streaming.stream import EdgeStream
+
+
+class TestGreedyStreaming:
+    def test_maximal_and_two_approx(self):
+        g = clique_union(3, 10)
+        res = streaming_greedy_matching(EdgeStream.from_graph(g, rng=0))
+        assert res.matching.is_valid_for(g)
+        assert res.matching.is_maximal_for(g)
+        assert 2 * res.matching.size >= mcm_exact(g).size
+        assert res.passes == 1
+        assert res.delta == 0
+
+    def test_memory_is_matching_size(self):
+        g = clique_union(2, 6)
+        res = streaming_greedy_matching(EdgeStream.from_graph(g))
+        assert res.memory == res.matching.size
+
+
+class TestSparsifierStreaming:
+    def test_one_pass_quality(self):
+        g = clique_union(3, 20)
+        opt = mcm_exact(g).size
+        res = streaming_approx_matching(
+            EdgeStream.from_graph(g, rng=1), beta=1, epsilon=0.3, rng=2
+        )
+        assert res.passes == 1
+        assert res.matching.is_valid_for(g)
+        assert opt <= 1.3 * res.matching.size
+
+    def test_beats_greedy_on_traps(self):
+        g = trap_graph(2, 12, num_paths=30)
+        opt = mcm_exact(g).size
+        ours = streaming_approx_matching(
+            EdgeStream.from_graph(g, rng=3), beta=2, epsilon=0.3, rng=4
+        )
+        # Ours recovers the P4 traps exactly (low-degree edges all kept).
+        assert ours.matching.size == opt
+
+    def test_memory_below_stream_on_dense(self):
+        g = clique_union(2, 80)
+        from repro.core.delta import DeltaPolicy
+
+        res = streaming_approx_matching(
+            EdgeStream.from_graph(g, rng=5), beta=1, epsilon=0.3, rng=6,
+            policy=DeltaPolicy(constant=0.5),
+        )
+        assert res.memory < g.num_edges
+
+    def test_empty_stream(self):
+        res = streaming_approx_matching(
+            EdgeStream(5, []), beta=1, epsilon=0.5, rng=7
+        )
+        assert res.matching.size == 0

@@ -1,0 +1,82 @@
+"""Tests for per-vertex reservoir sampling (one-pass G_Δ)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import clique, clique_union
+from repro.streaming.reservoir import VertexReservoir, streaming_sparsifier
+from repro.streaming.stream import EdgeStream
+
+
+class TestVertexReservoir:
+    def test_below_capacity_keeps_all(self, rng):
+        r = VertexReservoir(5, rng)
+        for u in range(3):
+            r.offer(u)
+        assert sorted(r.sample()) == [0, 1, 2]
+        assert r.seen == 3
+
+    def test_capacity_respected(self, rng):
+        r = VertexReservoir(3, rng)
+        for u in range(50):
+            r.offer(u)
+        assert len(r.sample()) == 3
+        assert len(set(r.sample())) == 3
+
+    def test_invalid_capacity(self, rng):
+        with pytest.raises(ValueError):
+            VertexReservoir(0, rng)
+
+    def test_uniformity(self):
+        """Each of 20 items lands in a 4-slot reservoir ~1/5 of the time."""
+        root = np.random.default_rng(0)
+        counts = np.zeros(20)
+        trials = 600
+        for _ in range(trials):
+            r = VertexReservoir(4, root.spawn(1)[0])
+            for u in range(20):
+                r.offer(u)
+            for u in r.sample():
+                counts[u] += 1
+        expected = trials * 4 / 20
+        assert np.all(counts > expected * 0.6)
+        assert np.all(counts < expected * 1.4)
+
+
+class TestStreamingSparsifier:
+    def test_subgraph_of_stream(self):
+        g = clique_union(2, 10)
+        stream = EdgeStream.from_graph(g, rng=0)
+        sp, memory = streaming_sparsifier(stream, delta=3, rng=1)
+        for u, v in sp.edges():
+            assert g.has_edge(u, v)
+
+    def test_single_pass(self):
+        g = clique(15)
+        stream = EdgeStream.from_graph(g)
+        streaming_sparsifier(stream, delta=3, rng=2)
+        assert stream.passes == 1
+
+    def test_memory_bound(self):
+        g = clique(30)  # deg 29
+        stream = EdgeStream.from_graph(g)
+        _, memory = streaming_sparsifier(stream, delta=4, rng=3)
+        assert memory == 30 * 4  # every vertex saturates its reservoir
+
+    def test_low_degree_keeps_everything(self):
+        g = clique(4)
+        stream = EdgeStream.from_graph(g)
+        sp, memory = streaming_sparsifier(stream, delta=10, rng=4)
+        assert sp.num_edges == g.num_edges
+        assert memory == sum(g.degrees())
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_distribution_matches_offline_sparsifier(self, seed):
+        """Same marking law as the offline G_Δ: per-vertex sample sizes
+        equal min(delta, deg) regardless of arrival order."""
+        g = clique_union(2, 8)
+        stream = EdgeStream.from_graph(g, rng=seed)
+        sp, memory = streaming_sparsifier(stream, delta=3, rng=seed)
+        assert memory == sum(min(3, int(d)) for d in g.degrees())

@@ -1,0 +1,39 @@
+"""Tests for the edge-stream abstraction."""
+
+import numpy as np
+
+from repro.graphs.generators import clique_union
+from repro.streaming.stream import EdgeStream
+
+
+class TestEdgeStream:
+    def test_length_and_content(self):
+        stream = EdgeStream(4, [(0, 1), (2, 3)])
+        assert len(stream) == 2
+        assert sorted(stream) == [(0, 1), (2, 3)]
+
+    def test_normalizes_orientation(self):
+        stream = EdgeStream(4, [(3, 2)])
+        assert list(stream) == [(2, 3)]
+
+    def test_pass_counting(self):
+        stream = EdgeStream(3, [(0, 1)])
+        assert stream.passes == 0
+        list(stream)
+        list(stream)
+        assert stream.passes == 2
+
+    def test_shuffled_order_is_permutation(self):
+        edges = [(i, i + 1) for i in range(20)]
+        plain = EdgeStream(21, edges)
+        shuffled = EdgeStream(21, edges, rng=0)
+        assert sorted(shuffled) == sorted(plain)
+        assert list(EdgeStream(21, edges, rng=0)) == list(
+            EdgeStream(21, edges, rng=0)
+        )  # seed-reproducible
+
+    def test_from_graph(self):
+        g = clique_union(2, 4)
+        stream = EdgeStream.from_graph(g)
+        assert len(stream) == g.num_edges
+        assert stream.num_vertices == g.num_vertices

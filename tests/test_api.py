@@ -1,0 +1,47 @@
+"""Top-level API sanity: imports, __all__, and the quickstart example."""
+
+import importlib
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        for mod in [
+            "repro.core", "repro.graphs", "repro.matching",
+            "repro.sequential", "repro.distributed", "repro.dynamic",
+            "repro.streaming", "repro.mpc",
+            "repro.experiments", "repro.instrument", "repro.cli",
+        ]:
+            importlib.import_module(mod)
+
+    def test_quickstart_docstring_example(self):
+        """The README/module quickstart must keep working verbatim."""
+        from repro import build_sparsifier, delta_practical, mcm_exact
+        from repro.graphs.generators import clique_union
+
+        g = clique_union(10, 40)
+        result = build_sparsifier(g, delta_practical(beta=1, epsilon=0.2),
+                                  rng=0)
+        assert mcm_exact(result.subgraph).size >= mcm_exact(g).size / 1.2
+
+
+def test_doctest_module_examples():
+    """Run the doctests embedded in key modules."""
+    import doctest
+
+    import repro.graphs.sparse_array
+    import repro.instrument.counters
+    import repro.instrument.timers
+
+    for mod in (repro.graphs.sparse_array, repro.instrument.counters,
+                repro.instrument.timers):
+        failures, _ = doctest.testmod(mod)
+        assert failures == 0

@@ -1,0 +1,40 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "e12" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "e1" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_e4(self, capsys):
+        assert main(["e4"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 2.2" in out
+
+    def test_seed_flag(self, capsys):
+        assert main(["e4", "--seed", "3"]) == 0
+        assert "Lemma 2.2" in capsys.readouterr().out
+
+    def test_markdown_flag(self, capsys):
+        assert main(["e4", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("### ")
+        assert "|---" in out
+
+    def test_output_dir(self, capsys, tmp_path):
+        assert main(["e4", "--output", str(tmp_path / "results")]) == 0
+        assert (tmp_path / "results" / "e4.json").exists()
+        assert (tmp_path / "results" / "e4.csv").exists()

@@ -1,0 +1,54 @@
+"""Documentation quality gate: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+EXEMPT_MODULES = set()
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", "").startswith("repro"):
+            yield name, obj
+
+
+def _iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in EXEMPT_MODULES:
+            continue
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_docstring():
+    missing = [m.__name__ for m in _iter_modules() if not m.__doc__]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_item_has_docstring():
+    missing = []
+    for module in _iter_modules():
+        for name, obj in _public_members(module):
+            if not inspect.getdoc(obj):
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"public items without docstrings: {missing}"
+
+
+def test_public_methods_have_docstrings():
+    missing = []
+    for module in _iter_modules():
+        for name, obj in _public_members(module):
+            if not inspect.isclass(obj):
+                continue
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if inspect.isfunction(meth) and not inspect.getdoc(meth):
+                    missing.append(f"{module.__name__}.{name}.{meth_name}")
+    assert not missing, f"methods without docstrings: {missing}"

@@ -1,0 +1,129 @@
+"""Cross-module failure injection and degenerate-input tests.
+
+Every pipeline must behave sensibly on: empty graphs, single edges,
+isolated vertices, extreme ε, and adversarial structures — the inputs
+that break implementations whose happy paths all pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import DeltaPolicy
+from repro.core.sparsifier import build_sparsifier
+from repro.distributed.pipeline import distributed_approx_matching
+from repro.dynamic.lazy_rebuild import LazyRebuildMatching
+from repro.graphs.builder import from_edges
+from repro.mpc.matching import mpc_approx_matching
+from repro.sequential.pipeline import approximate_matching
+from repro.streaming.matching import streaming_approx_matching
+from repro.streaming.stream import EdgeStream
+
+
+EMPTY = from_edges(0, [])
+ISOLATED = from_edges(6, [])
+SINGLE_EDGE = from_edges(2, [(0, 1)])
+STAR = from_edges(6, [(0, i) for i in range(1, 6)])
+WITH_ISOLATED = from_edges(8, [(0, 1), (2, 3)])
+
+
+class TestSequentialDegenerate:
+    @pytest.mark.parametrize("graph", [ISOLATED, SINGLE_EDGE, WITH_ISOLATED])
+    def test_runs_and_valid(self, graph):
+        res = approximate_matching(graph, beta=1, epsilon=0.5, rng=0)
+        assert res.matching.is_valid_for(graph)
+
+    def test_empty_vertex_set(self):
+        res = approximate_matching(EMPTY, beta=1, epsilon=0.5, rng=0)
+        assert res.matching.size == 0
+
+    def test_extreme_epsilon_small(self):
+        res = approximate_matching(SINGLE_EDGE, beta=1, epsilon=0.01, rng=0)
+        assert res.matching.size == 1
+
+    def test_extreme_epsilon_large(self):
+        res = approximate_matching(STAR, beta=5, epsilon=0.99, rng=0)
+        assert res.matching.size == 1
+
+    def test_epsilon_out_of_range(self):
+        with pytest.raises(ValueError):
+            approximate_matching(STAR, beta=1, epsilon=0.0)
+        with pytest.raises(ValueError):
+            approximate_matching(STAR, beta=1, epsilon=1.0)
+
+
+class TestSparsifierDegenerate:
+    def test_star_keeps_structure(self):
+        res = build_sparsifier(STAR, 2, rng=0)
+        # Leaves have degree 1 and mark their only edge: everything stays.
+        assert res.subgraph.num_edges == 5
+
+    def test_delta_one(self):
+        res = build_sparsifier(SINGLE_EDGE, 1, rng=0)
+        assert res.subgraph.num_edges == 1
+
+    def test_policy_cap_on_tiny_graph(self):
+        delta = DeltaPolicy(constant=1000.0).delta(1, 0.5, num_vertices=3)
+        assert delta == 2
+
+
+class TestDistributedDegenerate:
+    def test_isolated_network(self):
+        rep = distributed_approx_matching(ISOLATED, beta=1, epsilon=0.5, rng=0)
+        assert rep.matching.size == 0
+
+    def test_single_edge_network(self):
+        rep = distributed_approx_matching(SINGLE_EDGE, beta=1, epsilon=0.5,
+                                          rng=0)
+        assert rep.matching.size == 1
+
+    def test_star_network(self):
+        rep = distributed_approx_matching(STAR, beta=5, epsilon=0.5, rng=1)
+        assert rep.matching.size == 1
+
+
+class TestDynamicDegenerate:
+    def test_insert_then_delete_everything(self):
+        alg = LazyRebuildMatching(4, beta=1, epsilon=0.5, rng=0)
+        alg.insert(0, 1)
+        alg.insert(2, 3)
+        alg.delete(0, 1)
+        alg.delete(2, 3)
+        assert alg.matching.size == 0
+        assert alg.graph.num_edges == 0
+
+    def test_double_insert_rejected_cleanly(self):
+        alg = LazyRebuildMatching(4, beta=1, epsilon=0.5, rng=0)
+        alg.insert(0, 1)
+        with pytest.raises(ValueError):
+            alg.insert(0, 1)
+        # The algorithm remains usable afterwards.
+        alg.delete(0, 1)
+        assert alg.graph.num_edges == 0
+
+
+class TestStreamingDegenerate:
+    def test_single_edge_stream(self):
+        res = streaming_approx_matching(EdgeStream(2, [(0, 1)]),
+                                        beta=1, epsilon=0.5, rng=0)
+        assert res.matching.size == 1
+
+    def test_duplicate_edges_in_stream(self):
+        """A stream replaying the same edge inflates reservoirs but must
+        not create invalid output."""
+        stream = EdgeStream(3, [(0, 1), (0, 1), (1, 2)])
+        res = streaming_approx_matching(stream, beta=1, epsilon=0.5, rng=0)
+        g = from_edges(3, [(0, 1), (1, 2)])
+        assert res.matching.is_valid_for(g)
+
+
+class TestMPCDegenerate:
+    def test_empty_input(self):
+        res = mpc_approx_matching(ISOLATED, beta=1, epsilon=0.5,
+                                  num_machines=2, rng=0)
+        assert res.matching.size == 0
+        assert res.rounds == 3
+
+    def test_more_machines_than_edges(self):
+        res = mpc_approx_matching(SINGLE_EDGE, beta=1, epsilon=0.5,
+                                  num_machines=8, rng=0)
+        assert res.matching.size == 1

@@ -1,0 +1,72 @@
+"""Tests for counters, RNG plumbing, and timers."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.counters import Counter, CounterSet
+from repro.instrument.rng import derive_rng, spawn_rngs
+from repro.instrument.timers import Timer
+
+
+class TestCounter:
+    def test_increment_add(self):
+        c = Counter("x")
+        c.increment()
+        c.add(4)
+        assert c.value == 5
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.add(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestCounterSet:
+    def test_lazy_creation(self):
+        cs = CounterSet()
+        cs["messages"].add(2)
+        assert cs.value("messages") == 2
+        assert cs.value("never-touched") == 0
+
+    def test_snapshot_and_reset(self):
+        cs = CounterSet()
+        cs["a"].add(1)
+        cs["b"].add(2)
+        assert cs.snapshot() == {"a": 1, "b": 2}
+        cs.reset()
+        assert cs.snapshot() == {"a": 0, "b": 0}
+
+
+class TestRng:
+    def test_derive_from_int(self):
+        a = derive_rng(5)
+        b = derive_rng(5)
+        assert a.integers(1000) == b.integers(1000)
+
+    def test_derive_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert derive_rng(gen) is gen
+
+    def test_derive_none(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_spawn(self):
+        children = spawn_rngs(derive_rng(1), 3)
+        assert len(children) == 3
+        draws = {int(c.integers(10**9)) for c in children}
+        assert len(draws) == 3  # independent streams
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(derive_rng(1), -1)
+
+
+def test_timer():
+    with Timer() as t:
+        sum(range(100))
+    assert t.elapsed >= 0.0

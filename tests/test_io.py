@@ -1,0 +1,80 @@
+"""Tests for serialization (graphs, matchings, result tables)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import Table
+from repro.graphs.generators import clique_union
+from repro.io import (
+    load_graph,
+    load_matching,
+    save_graph,
+    save_matching,
+    save_table,
+    table_from_json,
+    table_to_json,
+)
+from repro.matching.greedy import greedy_maximal_matching
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        g = clique_union(3, 8)
+        path = tmp_path / "g.npz"
+        save_graph(path, g)
+        g2 = load_graph(path)
+        assert np.array_equal(g.indptr, g2.indptr)
+        assert np.array_equal(g.indices, g2.indices)
+
+    def test_bad_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(ValueError, match="not a saved graph"):
+            load_graph(path)
+
+
+class TestMatchingRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        g = clique_union(2, 6)
+        m = greedy_maximal_matching(g)
+        path = tmp_path / "m.npz"
+        save_matching(path, m)
+        assert load_matching(path) == m
+
+    def test_bad_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, nope=np.arange(3))
+        with pytest.raises(ValueError, match="not a saved matching"):
+            load_matching(path)
+
+
+class TestTableSerialization:
+    def _table(self):
+        t = Table(title="T", headers=["a", "ok", "x"], notes=["note"])
+        t.add_row(1, True, 2.5)
+        t.add_row(np.int64(3), np.bool_(False), np.float64(0.125))
+        return t
+
+    def test_json_roundtrip(self):
+        t = self._table()
+        t2 = table_from_json(table_to_json(t))
+        assert t2.title == t.title
+        assert t2.headers == t.headers
+        assert t2.rows == [[1, True, 2.5], [3, False, 0.125]]
+        assert t2.notes == ["note"]
+
+    def test_save_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_table(path, self._table())
+        assert "\"title\": \"T\"" in path.read_text()
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "t.csv"
+        save_table(path, self._table())
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,ok,x"
+        assert len(lines) == 3
+
+    def test_unsupported_format(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported"):
+            save_table(tmp_path / "t.xlsx", self._table())

@@ -1,0 +1,141 @@
+"""Cross-cutting property-based invariants (hypothesis).
+
+The per-module tests check local behaviour; these properties tie
+modules together: samplers agree in law, pipelines never emit invalid
+matchings, maintained structures match their from-scratch counterparts.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sparsifier import build_sparsifier
+from repro.dynamic.dynamic_sparsifier import DynamicSparsifier
+from repro.graphs.builder import from_edges
+from repro.matching.blossom import mcm_exact
+from repro.matching.gallai_edmonds import is_maximum_matching
+from repro.matching.matching import Matching
+from repro.sequential.pipeline import approximate_matching
+from repro.streaming.matching import streaming_approx_matching
+from repro.streaming.stream import EdgeStream
+
+
+def _random_graph(n: int, p: float, seed: int):
+    rng = np.random.default_rng(seed)
+    edges = [
+        (u, v) for u in range(n) for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    return from_edges(n, edges)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=20),
+    p=st.floats(min_value=0.2, max_value=1.0),
+    delta=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_samplers_agree_in_law_shape(n, p, delta, seed):
+    """All three samplers produce min(delta, deg) marks per vertex and
+    subgraphs of the input; their edge-count distributions coincide in
+    expectation (spot-checked via the deterministic mark-count law)."""
+    g = _random_graph(n, p, seed)
+    for sampler in ("pos_array", "rejection", "vectorized"):
+        res = build_sparsifier(g, delta, rng=seed, sampler=sampler)
+        for v, marks in enumerate(res.marked_by):
+            if sampler == "rejection" and g.degree(v) <= 2 * delta:
+                assert len(marks) == g.degree(v)  # the §3.1 tweak
+            else:
+                assert len(marks) == min(delta, g.degree(v))
+        for u, w in res.subgraph.edges():
+            assert g.has_edge(u, w)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    p=st.floats(min_value=0.2, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_sequential_pipeline_never_invalid(n, p, seed):
+    g = _random_graph(n, p, seed)
+    res = approximate_matching(g, beta=max(1, n // 3), epsilon=0.5, rng=seed)
+    assert res.matching.is_valid_for(g)
+    assert 2 * res.matching.size >= mcm_exact(g).size  # never worse than 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    p=st.floats(min_value=0.2, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_streaming_pipeline_never_invalid(n, p, seed):
+    g = _random_graph(n, p, seed)
+    res = streaming_approx_matching(
+        EdgeStream.from_graph(g, rng=seed), beta=max(1, n // 3),
+        epsilon=0.5, rng=seed,
+    )
+    assert res.matching.is_valid_for(g)
+    assert res.passes == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=10),
+    ops=st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                 min_size=1, max_size=50),
+    delta=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_dynamic_sparsifier_mark_law_invariant(n, ops, delta, seed):
+    """After any toggle sequence, every vertex touched since its last
+    degree change holds exactly min(delta, deg) valid marks."""
+    ds = DynamicSparsifier(n, delta=delta, rng=seed)
+    present = set()
+    for a, b in ops:
+        u, v = a % n, b % n
+        if u == v:
+            continue
+        e = (min(u, v), max(u, v))
+        if e in present:
+            present.remove(e)
+            ds.delete(*e)
+        else:
+            present.add(e)
+            ds.insert(*e)
+        for w in e:
+            marks = ds.marks(w)
+            assert len(marks) == min(delta, ds.graph.degree(w))
+            assert all(ds.graph.has_edge(w, x) for x in marks)
+    for u, v in ds.edges():
+        assert ds.graph.has_edge(u, v)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=14),
+    p=st.floats(min_value=0.1, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_berge_certificate_certifies_blossom(n, p, seed):
+    """mcm_exact's output always carries a Berge certificate."""
+    g = _random_graph(n, p, seed)
+    assert is_maximum_matching(g, mcm_exact(g))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=14),
+    p=st.floats(min_value=0.2, max_value=1.0),
+    delta=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_sparsifier_preserves_maximality_structure(n, p, delta, seed):
+    """|MCM(G_Δ)| never exceeds |MCM(G)| (subgraph monotonicity) and a
+    matching maximum in G that survives into G_Δ stays maximum there."""
+    g = _random_graph(n, p, seed)
+    res = build_sparsifier(g, delta, rng=seed)
+    opt_g = mcm_exact(g).size
+    opt_sp = mcm_exact(res.subgraph).size
+    assert opt_sp <= opt_g
