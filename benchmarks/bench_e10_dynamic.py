@@ -14,8 +14,8 @@ def test_kernel_update_batch(benchmark):
     universe = list(host.edges())
 
     def batch():
-        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, rng=0)
-        adv = ObliviousAdversary(universe, 0.5, rng=1)
+        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, seed=0)
+        adv = ObliviousAdversary(universe, 0.5, seed=1)
         adv.preload(universe)
         for u, v in universe:
             alg.insert(u, v)

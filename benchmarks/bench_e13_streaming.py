@@ -13,7 +13,7 @@ def test_kernel_reservoir_pass(benchmark):
     graph = clique_union(3, 160)
 
     def kernel():
-        return streaming_sparsifier(EdgeStream.from_graph(graph), 9, rng=0)
+        return streaming_sparsifier(EdgeStream.from_graph(graph), 9, seed=0)
 
     sparsifier, memory = benchmark(kernel)
     assert memory < graph.num_edges

@@ -14,8 +14,8 @@ def test_kernel_churn_batch(benchmark):
     universe = list(host.edges())
 
     def batch():
-        net = DynamicDistributedSparsifier(host.num_vertices, 8, rng=0)
-        adv = ObliviousAdversary(universe, 0.5, rng=1)
+        net = DynamicDistributedSparsifier(host.num_vertices, 8, seed=0)
+        adv = ObliviousAdversary(universe, 0.5, seed=1)
         adv.preload(universe)
         for u, v in universe:
             net.insert(u, v)

@@ -10,7 +10,7 @@ from repro.graphs.generators import clique_union
 def test_kernel_build_sparsifier(benchmark):
     """Time one G_Δ construction on a dense clique union (n=480)."""
     graph = clique_union(8, 60)
-    result = benchmark(build_sparsifier, graph, 12, rng=0)
+    result = benchmark(build_sparsifier, graph, 12, seed=0)
     assert result.subgraph.num_edges <= graph.num_vertices * 12
 
 
@@ -31,7 +31,7 @@ def test_replication_wilson(benchmark):
     graph = clique_union(4, 60)
 
     rep = benchmark.pedantic(
-        replicate_quality, args=(graph, 9, 0.3, 30, 0),
+        replicate_quality, args=(graph, 9, 0.3, 30), kwargs={"seed": 0},
         rounds=1, iterations=1,
     )
     assert rep.successes == rep.trials

@@ -13,7 +13,7 @@ def test_kernel_size_measurement(benchmark):
     graph = clique_union(4, 60)
 
     def kernel():
-        return build_sparsifier(graph, 9, rng=0).subgraph.num_edges
+        return build_sparsifier(graph, 9, seed=0).subgraph.num_edges
 
     edges = benchmark(kernel)
     assert edges <= 2 * mcm_exact(graph).size * (9 + 1)

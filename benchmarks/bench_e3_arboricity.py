@@ -10,7 +10,7 @@ from repro.graphs.generators import clique_union
 
 def test_kernel_degeneracy(benchmark):
     """Time the degeneracy (arboricity upper bound) of a sparsifier."""
-    sparsifier = build_sparsifier(clique_union(8, 60), 10, rng=0).subgraph
+    sparsifier = build_sparsifier(clique_union(8, 60), 10, seed=0).subgraph
     d, _ = benchmark(degeneracy, sparsifier)
     assert d <= 2 * 10
 

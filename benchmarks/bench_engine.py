@@ -1,0 +1,99 @@
+"""Serial-vs-parallel benchmark for the experiment engine.
+
+Runs the same two workloads at ``workers=1`` and ``workers=N`` (default
+4), asserts the outputs are identical — the engine's core contract — and
+reports wall-clock times, speedups, and the host CPU count as JSON.
+
+The speedup numbers are only meaningful relative to ``cpu_count``: on a
+single-core host the parallel path cannot beat serial (process pools add
+pickling and fork overhead with no extra parallelism), and the JSON
+records that honestly instead of hiding it.  The determinism assertions
+are CPU-count independent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py \
+        --output results/bench_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.experiments.e1_quality import run as run_e1
+from repro.experiments.stats import replicate_quality
+from repro.graphs.generators import clique_union
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, time.perf_counter() - start
+
+
+def bench_e1(workers: int) -> dict:
+    """E1 quality table: graph-rebuild-in-worker fan-out."""
+    kwargs = dict(epsilons=(0.5, 0.3), trials=4, seed=0)
+    serial, t_serial = _timed(run_e1, **kwargs, workers=1)
+    parallel, t_parallel = _timed(run_e1, **kwargs, workers=workers)
+    assert serial.rows == parallel.rows, "E1 parallel run diverged from serial"
+    return {
+        "workload": "e1_quality(epsilons=(0.5, 0.3), trials=4, seed=0)",
+        "tasks": len(serial.rows) * 2 * 4,
+        "serial_seconds": round(t_serial, 4),
+        "parallel_seconds": round(t_parallel, 4),
+        "speedup": round(t_serial / t_parallel, 3),
+        "identical_output": True,
+    }
+
+
+def bench_replication(workers: int) -> dict:
+    """Wilson-interval replication: context-broadcast fan-out."""
+    graph = clique_union(8, 60)
+    kwargs = dict(delta=9, epsilon=0.3, trials=32, seed=0)
+    serial, t_serial = _timed(replicate_quality, graph, **kwargs, workers=1)
+    parallel, t_parallel = _timed(
+        replicate_quality, graph, **kwargs, workers=workers
+    )
+    assert serial == parallel, "replication parallel run diverged from serial"
+    return {
+        "workload": "replicate_quality(clique_union(8, 60), delta=9, "
+                    "epsilon=0.3, trials=32, seed=0)",
+        "tasks": 32,
+        "serial_seconds": round(t_serial, 4),
+        "parallel_seconds": round(t_parallel, 4),
+        "speedup": round(t_serial / t_parallel, 3),
+        "identical_output": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4,
+                        help="parallel worker count to benchmark (default 4)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "engine serial vs parallel",
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "workloads": [bench_e1(args.workers), bench_replication(args.workers)],
+    }
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

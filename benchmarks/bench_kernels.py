@@ -19,7 +19,7 @@ from repro.graphs.generators import random_bipartite
 def test_blossom_on_sparsifier(benchmark):
     """The pipeline's real matcher workload: blossom on a sparsifier."""
     g = clique_union(6, 60)
-    sp = build_sparsifier(g, 9, rng=0).subgraph
+    sp = build_sparsifier(g, 9, seed=0).subgraph
     m = benchmark(mcm_exact, sp)
     assert m.size == 180
 
@@ -27,7 +27,7 @@ def test_blossom_on_sparsifier(benchmark):
 def test_networkx_exact_reference(benchmark):
     """NetworkX's exact matcher on the same sparsifier (reference)."""
     g = clique_union(6, 60)
-    sp = to_networkx(build_sparsifier(g, 9, rng=0).subgraph)
+    sp = to_networkx(build_sparsifier(g, 9, seed=0).subgraph)
     result = benchmark(
         nx.max_weight_matching, sp, True
     )
@@ -35,13 +35,13 @@ def test_networkx_exact_reference(benchmark):
 
 
 def test_greedy_kernel(benchmark):
-    g = erdos_renyi(400, 0.1, rng=1)
+    g = erdos_renyi(400, 0.1, seed=1)
     m = benchmark(greedy_maximal_matching, g)
     assert m.is_maximal_for(g)
 
 
 def test_hopcroft_karp_kernel(benchmark):
-    g = random_bipartite(200, 200, 0.05, rng=2)
+    g = random_bipartite(200, 200, 0.05, seed=2)
     m = benchmark(hopcroft_karp, g)
     assert m.size > 0
 
@@ -66,6 +66,6 @@ def test_unit_disk_generation(benchmark):
 def test_beta_exact_kernel(benchmark):
     from repro.graphs.neighborhood import neighborhood_independence_exact
 
-    g, _ = unit_disk_graph(300, 4.0, rng=4)
+    g, _ = unit_disk_graph(300, 4.0, seed=4)
     beta = benchmark(neighborhood_independence_exact, g, 120)
     assert 1 <= beta <= 5

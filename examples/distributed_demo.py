@@ -45,7 +45,7 @@ def main() -> None:
     # Stage 1: one-round random sparsifier.
     print(f"stage 1 — SparsifierProtocol (delta = {delta}):")
     net = SyncNetwork(graph, metrics)
-    sparsify = SparsifierProtocol(delta, rng=0)
+    sparsify = SparsifierProtocol(delta, seed=0)
     net.run(sparsify, max_rounds=2)
     g_delta = from_edges(graph.num_vertices, sorted(sparsify.edges))
     snapshot = stage("cost", metrics, snapshot)
@@ -66,7 +66,7 @@ def main() -> None:
     # Stage 3: randomized maximal matching.
     print("stage 3 — RandomizedMatchingProtocol:")
     net3 = SyncNetwork(g_tilde, metrics)
-    matcher = RandomizedMatchingProtocol(rng=1)
+    matcher = RandomizedMatchingProtocol(seed=1)
     net3.run(matcher, max_rounds=10_000)
     snapshot = stage("cost", metrics, snapshot)
     size3 = matcher.matching.size
@@ -75,7 +75,7 @@ def main() -> None:
 
     # Stage 4: short augmenting-path elimination.
     print("stage 4 — AugmentingPathEliminationProtocol (k = 3):")
-    improver = AugmentingPathEliminationProtocol(3, matcher.mate, rng=2)
+    improver = AugmentingPathEliminationProtocol(3, matcher.mate, seed=2)
     net4 = SyncNetwork(g_tilde, metrics)
     net4.run(improver, max_rounds=100_000)
     snapshot = stage("cost", metrics, snapshot)

@@ -27,10 +27,10 @@ def main() -> None:
     n = host.num_vertices
     print(f"offer universe: n={n}, {len(universe)} possible edges\n")
 
-    ours = LazyRebuildMatching(n, beta=1, epsilon=0.4, rng=0)
+    ours = LazyRebuildMatching(n, beta=1, epsilon=0.4, seed=0)
     base = DynamicMaximalMatching(n)
     adversary = AdaptiveAdversary(universe, observe=lambda: ours.matching,
-                                  attack_probability=0.5, rng=1)
+                                  attack_probability=0.5, seed=1)
 
     # Warm up to full density, then let the adversary attack.
     adversary.preload(universe)

@@ -35,7 +35,7 @@ def main() -> None:
     print(f"line graph: n={links_graph.num_vertices}, "
           f"m={links_graph.num_edges}, beta <= 2\n")
 
-    run = approximate_matching(links_graph, beta=2, epsilon=0.25, rng=0)
+    run = approximate_matching(links_graph, beta=2, epsilon=0.25, seed=0)
     cert = sublinearity_certificate(links_graph, run)
     optimum = mcm_exact(links_graph).size
 

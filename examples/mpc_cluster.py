@@ -27,7 +27,7 @@ def main() -> None:
 
     result = mpc_approx_matching(
         graph, beta=1, epsilon=0.25, num_machines=machines,
-        rng=0, policy=DeltaPolicy(constant=0.6),
+        seed=0, policy=DeltaPolicy(constant=0.6),
     )
     ratio = optimum / result.matching.size
     print(f"\nthree-round sparsifier protocol:")
@@ -44,7 +44,7 @@ def main() -> None:
     try:
         mpc_approx_matching(graph, beta=1, epsilon=0.25,
                             num_machines=machines,
-                            memory_per_machine=200, rng=0)
+                            memory_per_machine=200, seed=0)
     except MachineOverflowError as err:
         print(f"with S = 200 words the simulator refuses, as it should:")
         print(f"  {err}")

@@ -24,7 +24,7 @@ def main() -> None:
     # --- The sparsifier, directly -------------------------------------
     # constant=0.5: E11 shows even this lean delta achieves (1+eps).
     delta = delta_practical(beta, epsilon, constant=0.5)
-    result = build_sparsifier(graph, delta, rng=0)
+    result = build_sparsifier(graph, delta, seed=0)
     quality = sparsifier_quality(graph, result.subgraph)
     print(f"\nG_delta with delta={delta}:")
     print(f"  edges: {result.subgraph.num_edges} "
@@ -35,7 +35,7 @@ def main() -> None:
           f"(target: <= {1 + epsilon})")
 
     # --- The full sublinear pipeline (Theorem 3.1) ---------------------
-    run = approximate_matching(graph, beta=beta, epsilon=epsilon, rng=1,
+    run = approximate_matching(graph, beta=beta, epsilon=epsilon, seed=1,
                                policy=DeltaPolicy(constant=0.5))
     cert = sublinearity_certificate(graph, run)
     print(f"\nsequential pipeline (Theorem 3.1):")

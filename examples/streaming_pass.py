@@ -30,10 +30,10 @@ def main() -> None:
     print(f"offline optimum: {optimum}\n")
 
     ours = streaming_approx_matching(
-        EdgeStream.from_graph(graph, rng=0), beta=2, epsilon=0.25,
-        rng=1, policy=DeltaPolicy(constant=0.6),
+        EdgeStream.from_graph(graph, seed=0), beta=2, epsilon=0.25,
+        seed=1, policy=DeltaPolicy(constant=0.6),
     )
-    greedy = streaming_greedy_matching(EdgeStream.from_graph(graph, rng=0))
+    greedy = streaming_greedy_matching(EdgeStream.from_graph(graph, seed=0))
 
     print("reservoir sparsifier (this paper):")
     print(f"  matched: {ours.matching.size}  "

@@ -22,7 +22,7 @@ from repro.graphs.generators import unit_disk_graph
 
 
 def main() -> None:
-    graph, points = unit_disk_graph(num_points=220, area_side=4.0, rng=7)
+    graph, points = unit_disk_graph(num_points=220, area_side=4.0, seed=7)
     beta = 5  # planar packing bound for unit disks
     optimum = mcm_exact(graph).size
     print(f"radio network: n={graph.num_vertices} radios, "
@@ -31,9 +31,9 @@ def main() -> None:
 
     policy = DeltaPolicy(constant=0.5)
     ours = distributed_approx_matching(graph, beta=beta, epsilon=0.5,
-                                       rng=1, policy=policy)
+                                       seed=1, policy=policy)
     base = distributed_baseline_matching(graph, beta=beta, epsilon=0.5,
-                                         rng=1, policy=policy)
+                                         seed=1, policy=policy)
 
     for name, rep in (("sparsify + improve (Thm 3.2)", ours),
                       ("maximal-matching baseline", base)):

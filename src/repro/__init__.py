@@ -13,13 +13,20 @@ safe against adaptive adversaries (Theorem 3.5).
 
 Quickstart
 ----------
->>> from repro import build_sparsifier, delta_practical, mcm_exact
+>>> from repro import approx_mcm, mcm_exact, sparsify
 >>> from repro.graphs.generators import clique_union
 >>> g = clique_union(10, 40)                 # dense, beta = 1
->>> result = build_sparsifier(g, delta_practical(beta=1, epsilon=0.2), rng=0)
+>>> result = sparsify(g, beta=1, epsilon=0.2, seed=0)
 >>> mcm_exact(result.subgraph).size >= mcm_exact(g).size / 1.2
 True
+>>> approx_mcm(g, beta=1, epsilon=0.2, seed=0).backend
+'sequential'
+
+The facade (:mod:`repro.api`) fronts the per-model subpackages; the
+model-specific entry points below remain available for full control.
 """
+
+from repro.api import ApproxMatchingResult, Pipeline, approx_mcm, sparsify
 
 from repro.core import (
     DeltaPolicy,
@@ -65,11 +72,12 @@ from repro.streaming import (
 )
 from repro.mpc import mpc_approx_matching
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveAdversary",
     "AdjacencyArrayGraph",
+    "ApproxMatchingResult",
     "DeltaPolicy",
     "DynamicMaximalMatching",
     "DynamicSparsifier",
@@ -77,8 +85,10 @@ __all__ = [
     "LazyRebuildMatching",
     "Matching",
     "ObliviousAdversary",
+    "Pipeline",
     "RandomSparsifier",
     "SparsifierResult",
+    "approx_mcm",
     "approximate_matching",
     "build_sparsifier",
     "composed_sparsifier",
@@ -96,6 +106,7 @@ __all__ = [
     "neighborhood_independence_exact",
     "solomon_sparsifier",
     "sparsifier_quality",
+    "sparsify",
     "streaming_approx_matching",
     "streaming_greedy_matching",
     "to_networkx",

@@ -1,0 +1,251 @@
+"""The unified facade: one import surface for the whole reproduction.
+
+The package grew one subpackage per computation model (sequential,
+distributed, streaming, MPC, dynamic), each with its own entry point and
+result type.  This module is the coherent top layer over them:
+
+* :func:`sparsify` — build the paper's random sparsifier G_Δ from the
+  structural parameters (β, ε) instead of a raw Δ;
+* :func:`approx_mcm` — compute a (1+ε)-approximate maximum cardinality
+  matching with any backend, behind one signature and one result type;
+* :class:`Pipeline` — a frozen configuration bundling (β, ε, backend,
+  sampler, seed) for repeated application to many graphs.
+
+Randomness follows the package-wide convention: every function accepts
+``seed=`` (an integer) *or* ``rng=`` (an existing
+:class:`numpy.random.Generator`), keyword-only, never both.
+
+Quickstart
+----------
+>>> from repro.api import approx_mcm, sparsify
+>>> from repro.graphs.generators import clique_union
+>>> g = clique_union(10, 40)                      # dense, beta = 1
+>>> res = sparsify(g, beta=1, epsilon=0.2, seed=0)
+>>> run = approx_mcm(g, beta=1, epsilon=0.2, seed=0)
+>>> run.matching.size >= (g.num_vertices // 2) / 1.2
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Literal
+
+import numpy as np
+
+from repro.core.delta import DeltaPolicy
+from repro.core.sparsifier import SamplerName, SparsifierResult, build_sparsifier
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.instrument.rng import resolve_rng
+from repro.matching.matching import Matching
+
+Backend = Literal["sequential", "distributed", "streaming", "mpc"]
+
+BACKENDS: tuple[str, ...] = ("sequential", "distributed", "streaming", "mpc")
+
+
+@dataclass(frozen=True)
+class ApproxMatchingResult:
+    """Backend-independent result of :func:`approx_mcm`.
+
+    Attributes
+    ----------
+    matching:
+        The (1+ε)-approximate matching, valid in the input graph.
+    backend:
+        Which computation model produced it.
+    delta:
+        The sparsifier parameter Δ the backend derived from (β, ε).
+    report:
+        The backend's native result object
+        (:class:`~repro.sequential.pipeline.SequentialResult`,
+        :class:`~repro.distributed.pipeline.DistributedRunReport`, …)
+        for model-specific accounting: probes, rounds, messages,
+        passes, memory.
+    """
+
+    matching: Matching
+    backend: str
+    delta: int
+    report: Any
+
+
+def sparsify(
+    graph: AdjacencyArrayGraph,
+    *,
+    beta: int,
+    epsilon: float,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    sampler: SamplerName = "pos_array",
+    policy: DeltaPolicy | None = None,
+) -> SparsifierResult:
+    """Build the random sparsifier G_Δ from structural parameters.
+
+    Derives Δ(β, ε) via ``policy`` (default: the calibrated practical
+    constant) and delegates to
+    :func:`~repro.core.sparsifier.build_sparsifier`.
+
+    Parameters
+    ----------
+    graph:
+        Input graph with neighborhood independence ≤ ``beta``.
+    beta, epsilon:
+        Structure and quality parameters of Theorem 2.1.
+    seed, rng:
+        Uniform randomness keywords (one or neither, not both).
+    sampler:
+        ``"pos_array"`` (deterministic probe count), ``"rejection"``,
+        or ``"vectorized"`` (bulk numpy for large graphs).
+    policy:
+        Δ policy override; defaults to :meth:`DeltaPolicy.practical`.
+    """
+    gen = resolve_rng(seed=seed, rng=rng, owner="sparsify")
+    pol = policy or DeltaPolicy.practical()
+    delta = pol.delta(beta, epsilon, graph.num_vertices)
+    return build_sparsifier(graph, delta, rng=gen, sampler=sampler)
+
+
+def approx_mcm(
+    graph: AdjacencyArrayGraph,
+    *,
+    beta: int,
+    epsilon: float,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    backend: Backend = "sequential",
+    **options: Any,
+) -> ApproxMatchingResult:
+    """Compute a (1+ε)-approximate MCM with the chosen backend.
+
+    Parameters
+    ----------
+    graph:
+        Input graph with neighborhood independence ≤ ``beta``.
+    beta, epsilon:
+        Structure and quality parameters.
+    seed, rng:
+        Uniform randomness keywords (one or neither, not both).
+    backend:
+        ``"sequential"`` (Theorem 3.1, sublinear probes — default),
+        ``"distributed"`` (Theorem 3.2, four-stage CONGEST pipeline),
+        ``"streaming"`` (one-pass semi-streaming), or ``"mpc"``
+        (three-round MPC; option ``num_machines``, default 4).
+    **options:
+        Forwarded to the backend entry point (e.g. ``sampler=`` for
+        sequential, ``num_machines=`` / ``memory_per_machine=`` for
+        mpc, ``max_rounds=`` for distributed).
+
+    Returns
+    -------
+    ApproxMatchingResult
+        Matching plus the backend's native accounting report.
+    """
+    gen = resolve_rng(seed=seed, rng=rng, owner="approx_mcm")
+    if backend == "sequential":
+        from repro.sequential.pipeline import approximate_matching
+
+        report = approximate_matching(
+            graph, beta=beta, epsilon=epsilon, rng=gen, **options
+        )
+        matching, delta = report.matching, report.delta
+    elif backend == "distributed":
+        from repro.distributed.pipeline import distributed_approx_matching
+
+        report = distributed_approx_matching(
+            graph, beta=beta, epsilon=epsilon, rng=gen, **options
+        )
+        matching, delta = report.matching, report.delta
+    elif backend == "streaming":
+        from repro.streaming.matching import streaming_approx_matching
+        from repro.streaming.stream import EdgeStream
+
+        stream = EdgeStream.from_graph(graph)
+        report = streaming_approx_matching(
+            stream, beta=beta, epsilon=epsilon, rng=gen, **options
+        )
+        matching, delta = report.matching, report.delta
+    elif backend == "mpc":
+        from repro.mpc.matching import mpc_approx_matching
+
+        report = mpc_approx_matching(
+            graph, beta=beta, epsilon=epsilon, rng=gen,
+            num_machines=options.pop("num_machines", 4), **options
+        )
+        matching, delta = report.matching, report.delta
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return ApproxMatchingResult(
+        matching=matching, backend=backend, delta=delta, report=report
+    )
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """A reusable (β, ε, backend) configuration.
+
+    Bind the structural parameters once, then apply the same pipeline to
+    many graphs; each application derives a fresh child generator from
+    the configured seed, so a ``Pipeline`` is reproducible end to end
+    yet draws independent randomness per graph.
+
+    Examples
+    --------
+    >>> from repro.api import Pipeline
+    >>> from repro.graphs.generators import clique_union
+    >>> pipe = Pipeline(beta=1, epsilon=0.25, seed=0)
+    >>> run = pipe.approx_mcm(clique_union(6, 30))
+    >>> run.backend
+    'sequential'
+    """
+
+    beta: int
+    epsilon: float
+    backend: Backend = "sequential"
+    sampler: SamplerName = "pos_array"
+    seed: int | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if not 0 < self.epsilon:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        # Root generator for per-application child spawning (frozen
+        # dataclass, so it is attached outside the declared fields).
+        object.__setattr__(self, "_root", np.random.default_rng(self.seed))
+
+    def _child_rng(self) -> np.random.Generator:
+        return self._root.spawn(1)[0]  # type: ignore[attr-defined]
+
+    def sparsify(self, graph: AdjacencyArrayGraph) -> SparsifierResult:
+        """Build G_Δ for ``graph`` under this configuration."""
+        return sparsify(
+            graph, beta=self.beta, epsilon=self.epsilon,
+            rng=self._child_rng(), sampler=self.sampler,
+        )
+
+    def approx_mcm(self, graph: AdjacencyArrayGraph) -> ApproxMatchingResult:
+        """Compute an approximate MCM for ``graph`` under this
+        configuration (sampler forwarded for the sequential backend)."""
+        options = dict(self.options)
+        if self.backend == "sequential":
+            options.setdefault("sampler", self.sampler)
+        return approx_mcm(
+            graph, beta=self.beta, epsilon=self.epsilon,
+            rng=self._child_rng(), backend=self.backend, **options,
+        )
+
+
+__all__ = [
+    "ApproxMatchingResult",
+    "BACKENDS",
+    "Backend",
+    "Pipeline",
+    "approx_mcm",
+    "sparsify",
+]

@@ -2,35 +2,79 @@
 
 Usage::
 
-    repro-experiments e1          # one experiment
-    repro-experiments all         # everything (takes a while)
-    repro-experiments --list      # enumerate experiment ids
+    repro-experiments e1              # one experiment
+    repro-experiments e1 --workers 4  # trials fanned over 4 processes
+    repro-experiments all --workers auto   # experiments run concurrently
+    repro-experiments --list          # enumerate experiment ids
+
+Parallelism is deterministic: for a fixed ``--seed``, tables are
+identical at any ``--workers`` value (per-trial RNGs are spawned from
+the root seed before dispatch — see ``docs/ENGINE.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.experiments import REGISTRY
 
 
+def _experiment_ids() -> list[str]:
+    """Registry keys in numeric order (the help text derives its e-range
+    from here rather than hardcoding it)."""
+    return sorted(REGISTRY, key=lambda k: int(k[1:]))
+
+
+def _accepted_kwargs(fn, **candidates):
+    """Keep only candidates the experiment's ``run`` signature accepts
+    (and that were actually given)."""
+    params = inspect.signature(fn).parameters
+    return {
+        name: value
+        for name, value in candidates.items()
+        if value is not None and name in params
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the requested experiments and print their tables."""
+    ids = _experiment_ids()
+    id_range = f"{ids[0]}..{ids[-1]}"
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
-        description="Regenerate the paper-claim reproduction tables (E1-E12).",
+        description=(
+            "Regenerate the paper-claim reproduction tables "
+            f"({ids[0].upper()}-{ids[-1].upper()})."
+        ),
     )
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (e1..e12) or 'all'",
+        help=f"experiment id ({id_range}) or 'all'",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="root RNG seed (default 0)"
+    )
+    parser.add_argument(
+        "--workers", metavar="N|auto", default="1",
+        help="process count for parallel execution: trials within one "
+             "experiment, or whole experiments for 'all'; 'auto' = one "
+             "per CPU (default 1, the serial in-process path)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help="override the trial count for experiments that take one "
+             "(tiny values make a quick smoke run)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None,
+        help="override the instance-size multiplier for experiments "
+             "that take one",
     )
     parser.add_argument(
         "--markdown", action="store_true",
@@ -43,21 +87,60 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
-        for key in sorted(REGISTRY, key=lambda k: int(k[1:])):
+        for key in ids:
             doc = (REGISTRY[key].__module__ or "").rsplit(".", 1)[-1]
             print(f"{key:>4}  {doc}")
         return 0
 
-    wanted = (
-        sorted(REGISTRY, key=lambda k: int(k[1:]))
-        if args.experiment == "all"
-        else [args.experiment]
-    )
+    from repro.engine import resolve_workers
+
+    try:
+        workers = resolve_workers(
+            "auto" if args.workers == "auto" else int(args.workers)
+        )
+    except ValueError:
+        print(f"invalid --workers value {args.workers!r}; "
+              "use a positive integer or 'auto'", file=sys.stderr)
+        return 2
+
+    wanted = ids if args.experiment == "all" else [args.experiment]
     for key in wanted:
         if key not in REGISTRY:
             print(f"unknown experiment {key!r}; use --list", file=sys.stderr)
             return 2
-        table = REGISTRY[key](seed=args.seed)
+
+    if args.experiment == "all" and workers > 1:
+        # Fan whole experiments out over the pool; inner trial loops stay
+        # serial (workers=1) so total process count stays at N.
+        from repro.engine import TrialTask, execute, run_registry_experiment
+
+        tasks = [
+            TrialTask(
+                fn=run_registry_experiment,
+                kwargs={
+                    "key": key,
+                    "seed": args.seed,
+                    "params": _accepted_kwargs(
+                        REGISTRY[key], trials=args.trials, scale=args.scale
+                    ),
+                },
+            )
+            for key in wanted
+        ]
+        tables = execute(tasks, workers=workers)
+    else:
+        tables = []
+        for key in wanted:
+            kwargs = {"seed": args.seed}
+            kwargs.update(_accepted_kwargs(
+                REGISTRY[key],
+                workers=workers if workers > 1 else None,
+                trials=args.trials,
+                scale=args.scale,
+            ))
+            tables.append(REGISTRY[key](**kwargs))
+
+    for key, table in zip(wanted, tables):
         print(table.to_markdown() if args.markdown else table.render())
         print()
         if args.output is not None:

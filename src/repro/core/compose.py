@@ -20,7 +20,7 @@ from repro.core.bounded_degree import solomon_degree_bound, solomon_sparsifier
 from repro.core.delta import DeltaPolicy
 from repro.core.sparsifier import build_sparsifier
 from repro.graphs.adjacency import AdjacencyArrayGraph
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 
 
 @dataclass(frozen=True)
@@ -49,9 +49,11 @@ def composed_sparsifier(
     graph: AdjacencyArrayGraph,
     beta: int,
     epsilon: float,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     policy: DeltaPolicy | None = None,
     rescale: bool = True,
+    *,
+    seed: int | None = None,
 ) -> ComposedSparsifier:
     """Build G̃_Δ = Solomon(G_Δ), the two-round bounded-degree sparsifier.
 
@@ -76,7 +78,8 @@ def composed_sparsifier(
     stage_eps = epsilon / 3.0 if rescale else epsilon
     pol = policy or DeltaPolicy.practical()
     delta = pol.delta(beta, stage_eps, graph.num_vertices)
-    g_delta = build_sparsifier(graph, delta, rng=derive_rng(rng)).subgraph
+    gen = resolve_rng(seed=seed, rng=rng, owner="composed_sparsifier")
+    g_delta = build_sparsifier(graph, delta, rng=gen).subgraph
     arboricity = 2 * delta  # Observation 2.12
     tilde = solomon_sparsifier(g_delta, arboricity, stage_eps)
     return ComposedSparsifier(

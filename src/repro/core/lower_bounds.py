@@ -24,7 +24,7 @@ import numpy as np
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
 from repro.graphs.generators.cliques import two_cliques_with_bridge
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.blossom import mcm_exact
 
 
@@ -115,8 +115,10 @@ def empirical_exact_preservation(
     half: int,
     delta: int,
     trials: int,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     check_full_mcm: bool = False,
+    *,
+    seed: int | None = None,
 ) -> float:
     """Empirical frequency with which G_Δ preserves the exact MCM size
     on :func:`two_cliques_with_bridge`.
@@ -132,7 +134,8 @@ def empirical_exact_preservation(
     from repro.core.sparsifier import build_sparsifier
 
     graph = two_cliques_with_bridge(half)
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng,
+                      owner="empirical_exact_preservation")
     hits = 0
     for _ in range(trials):
         result = build_sparsifier(graph, delta, rng=gen.spawn(1)[0])

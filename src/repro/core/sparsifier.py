@@ -37,7 +37,7 @@ from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
 from repro.graphs.sparse_array import SparseArray
 from repro.instrument.counters import Counter
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 
 SamplerName = Literal["pos_array", "rejection", "vectorized"]
 
@@ -179,10 +179,12 @@ def _build_vectorized(
 def build_sparsifier(
     graph: AdjacencyArrayGraph,
     delta: int,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     sampler: SamplerName = "pos_array",
     probe_counter: Counter | None = None,
     materialize_marks: bool = True,
+    *,
+    seed: int | None = None,
 ) -> SparsifierResult:
     """Construct the random sparsifier G_Δ.
 
@@ -193,10 +195,12 @@ def build_sparsifier(
     delta:
         Number of incident edges each vertex marks (use
         :mod:`repro.core.delta` to derive it from β and ε).
-    rng:
-        Seed or generator; per-vertex choices are drawn independently
-        from child generators, matching Observation 2.9's independence
-        requirement.
+    rng, seed:
+        Uniform randomness keywords — an existing generator via ``rng=``
+        or an integer via ``seed=`` (not both; integers passed via
+        ``rng=`` still work with a :class:`DeprecationWarning`).
+        Per-vertex choices are drawn independently, matching
+        Observation 2.9's independence requirement.
     sampler:
         ``"pos_array"`` (deterministic probe count, default),
         ``"rejection"``, or ``"vectorized"`` (bulk numpy construction
@@ -214,7 +218,7 @@ def build_sparsifier(
     """
     if delta < 1:
         raise ValueError(f"delta must be >= 1, got {delta}")
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="build_sparsifier")
     if sampler == "vectorized":
         if probe_counter is not None:
             raise ValueError(
@@ -267,9 +271,11 @@ class RandomSparsifier:
         self,
         beta: int,
         epsilon: float,
-        seed: int | np.random.Generator | None = None,
+        seed: int | None = None,
         constant: float | None = None,
         sampler: SamplerName = "pos_array",
+        *,
+        rng: np.random.Generator | None = None,
     ) -> None:
         from repro.core.delta import DeltaPolicy, PRACTICAL_CONSTANT
 
@@ -279,7 +285,7 @@ class RandomSparsifier:
             constant=PRACTICAL_CONSTANT if constant is None else constant
         )
         self.sampler: SamplerName = sampler
-        self._rng = derive_rng(seed)
+        self._rng = resolve_rng(seed=seed, rng=rng, owner="RandomSparsifier")
 
     def delta_for(self, graph: AdjacencyArrayGraph) -> int:
         """Δ for this policy on ``graph``."""

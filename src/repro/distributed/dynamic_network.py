@@ -30,7 +30,7 @@ from repro.dynamic.graph import DynamicGraph
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
 from repro.instrument.counters import CounterSet
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 
 
 class DynamicDistributedSparsifier:
@@ -58,13 +58,17 @@ class DynamicDistributedSparsifier:
         self,
         num_vertices: int,
         delta: int,
-        rng: int | np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
+        *,
+        seed: int | None = None,
     ) -> None:
         if delta < 1:
             raise ValueError(f"delta must be >= 1, got {delta}")
         self.graph = DynamicGraph(num_vertices)
         self.delta = delta
-        self._rng = derive_rng(rng)
+        self._rng = resolve_rng(
+            seed=seed, rng=rng, owner="DynamicDistributedSparsifier"
+        )
         self._vertex_rngs = self._rng.spawn(num_vertices)
         #: marks_by_me[v]: neighbors v currently marks (v's local memory).
         self.marks_by_me: list[set[int]] = [set() for _ in range(num_vertices)]

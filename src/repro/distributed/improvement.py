@@ -34,7 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributed.network import Message, Protocol, SyncNetwork
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.matching import Matching
 
 Edge = tuple[int, int]
@@ -106,14 +106,18 @@ class AugmentingPathEliminationProtocol(Protocol):
         self,
         k: int,
         initial_mate: dict[int, int],
-        rng: int | np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
+        *,
+        seed: int | None = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
         self.max_len = 2 * k - 1
         self.mate = dict(initial_mate)
-        self._rng = derive_rng(rng)
+        self._rng = resolve_rng(
+            seed=seed, rng=rng, owner="AugmentingPathEliminationProtocol"
+        )
         self.iterations = 0
 
     # -- per-iteration state ------------------------------------------- #

@@ -28,7 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributed.network import Message, Protocol, SyncNetwork
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.matching import Matching
 
 
@@ -43,8 +43,15 @@ class RandomizedMatchingProtocol(Protocol):
 
     _PROPOSE, _ACCEPT, _ANNOUNCE = 0, 1, 2
 
-    def __init__(self, rng: int | np.random.Generator | None = None) -> None:
-        self._rng = derive_rng(rng)
+    def __init__(
+        self,
+        rng: np.random.Generator | int | None = None,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        self._rng = resolve_rng(
+            seed=seed, rng=rng, owner="RandomizedMatchingProtocol"
+        )
         self.mate: dict[int, int] = {}
         self.phase_count = 0
 

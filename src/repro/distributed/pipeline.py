@@ -39,7 +39,7 @@ from repro.distributed.sparsify_round import SparsifierProtocol
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
 from repro.instrument.counters import CounterSet
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import derive_rng, resolve_rng
 from repro.matching.matching import Matching
 
 
@@ -74,7 +74,7 @@ def _run_stages(
     graph: AdjacencyArrayGraph,
     beta: int,
     epsilon: float,
-    rng: int | np.random.Generator | None,
+    rng: np.random.Generator | int | None,
     policy: DeltaPolicy | None,
     improve: bool,
     max_rounds: int,
@@ -131,12 +131,19 @@ def distributed_approx_matching(
     graph: AdjacencyArrayGraph,
     beta: int,
     epsilon: float,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     policy: DeltaPolicy | None = None,
     max_rounds: int = 10_000,
+    *,
+    seed: int | None = None,
 ) -> DistributedRunReport:
-    """The full (1+O(ε)) pipeline of Theorem 3.2 (all four stages)."""
-    return _run_stages(graph, beta, epsilon, rng, policy, improve=True,
+    """The full (1+O(ε)) pipeline of Theorem 3.2 (all four stages).
+
+    Randomness follows the uniform convention: a generator via ``rng=``
+    or an integer via ``seed=`` (not both).
+    """
+    gen = resolve_rng(seed=seed, rng=rng, owner="distributed_approx_matching")
+    return _run_stages(graph, beta, epsilon, gen, policy, improve=True,
                        max_rounds=max_rounds)
 
 
@@ -144,13 +151,20 @@ def distributed_baseline_matching(
     graph: AdjacencyArrayGraph,
     beta: int,
     epsilon: float,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     policy: DeltaPolicy | None = None,
     max_rounds: int = 10_000,
+    *,
+    seed: int | None = None,
 ) -> DistributedRunReport:
     """The (2+ε)-style baseline: maximal matching on the sparsifier only
-    (stages 1–3), in the spirit of Barenboim–Oren [16, 17]."""
-    return _run_stages(graph, beta, epsilon, rng, policy, improve=False,
+    (stages 1–3), in the spirit of Barenboim–Oren [16, 17].
+
+    Randomness follows the uniform ``seed=`` / ``rng=`` convention.
+    """
+    gen = resolve_rng(seed=seed, rng=rng,
+                      owner="distributed_baseline_matching")
+    return _run_stages(graph, beta, epsilon, gen, policy, improve=False,
                        max_rounds=max_rounds)
 
 
@@ -159,9 +173,11 @@ def reduce_with_sparsifier(
     beta: int,
     epsilon: float,
     protocol_factory,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     policy: DeltaPolicy | None = None,
     max_rounds: int = 10_000,
+    *,
+    seed: int | None = None,
 ):
     """Theorem 3.3 as a combinator: run *any* black-box protocol on G_Δ.
 
@@ -177,6 +193,9 @@ def reduce_with_sparsifier(
     protocol_factory:
         Callable ``(graph) -> Protocol`` building the black box for the
         sparsified topology.
+    rng, seed:
+        Uniform randomness keywords — a generator via ``rng=`` or an
+        integer via ``seed=`` (not both).
 
     Returns
     -------
@@ -187,7 +206,7 @@ def reduce_with_sparsifier(
     """
     from repro.instrument.counters import CounterSet
 
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="reduce_with_sparsifier")
     metrics = CounterSet()
     pol = policy or DeltaPolicy.practical()
     delta = pol.delta(beta, epsilon, graph.num_vertices)

@@ -26,7 +26,7 @@ import math
 import numpy as np
 
 from repro.distributed.network import Message, Protocol, SyncNetwork
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 
 
 class SparsifierProtocol(Protocol):
@@ -45,11 +45,19 @@ class SparsifierProtocol(Protocol):
         (Observation 2.9).
     """
 
-    def __init__(self, delta: int, rng: int | np.random.Generator | None = None) -> None:
+    def __init__(
+        self,
+        delta: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        seed: int | None = None,
+    ) -> None:
         if delta < 1:
             raise ValueError(f"delta must be >= 1, got {delta}")
         self.delta = delta
-        self._rng = derive_rng(rng)
+        self._rng = resolve_rng(
+            seed=seed, rng=rng, owner="SparsifierProtocol"
+        )
         self._sent = False
         self.edges: set[tuple[int, int]] = set()
         self.known_by: dict[int, set[int]] = {}
@@ -105,11 +113,19 @@ class BroadcastSparsifierProtocol(Protocol):
         Seed or generator (split per vertex).
     """
 
-    def __init__(self, delta: int, rng: int | np.random.Generator | None = None) -> None:
+    def __init__(
+        self,
+        delta: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        seed: int | None = None,
+    ) -> None:
         if delta < 1:
             raise ValueError(f"delta must be >= 1, got {delta}")
         self.delta = delta
-        self._rng = derive_rng(rng)
+        self._rng = resolve_rng(
+            seed=seed, rng=rng, owner="BroadcastSparsifierProtocol"
+        )
         self._sent = False
         self.edges: set[tuple[int, int]] = set()
 

@@ -21,7 +21,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.matching import Matching
 
 
@@ -87,11 +87,15 @@ class ObliviousAdversary:
         self,
         universe: Iterable[tuple[int, int]],
         delete_probability: float = 0.3,
-        rng: int | np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
+        *,
+        seed: int | None = None,
     ) -> None:
         if not 0.0 <= delete_probability <= 1.0:
             raise ValueError("delete_probability must lie in [0, 1]")
-        self._state = _UniverseState(universe, derive_rng(rng))
+        self._state = _UniverseState(
+            universe, resolve_rng(seed=seed, rng=rng, owner="ObliviousAdversary")
+        )
         self.delete_probability = delete_probability
 
     def preload(self, edges: Iterable[tuple[int, int]]) -> None:
@@ -143,11 +147,15 @@ class AdaptiveAdversary:
         universe: Iterable[tuple[int, int]],
         observe: Callable[[], Matching],
         attack_probability: float = 0.5,
-        rng: int | np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
+        *,
+        seed: int | None = None,
     ) -> None:
         if not 0.0 <= attack_probability <= 1.0:
             raise ValueError("attack_probability must lie in [0, 1]")
-        self._state = _UniverseState(universe, derive_rng(rng))
+        self._state = _UniverseState(
+            universe, resolve_rng(seed=seed, rng=rng, owner="AdaptiveAdversary")
+        )
         self._observe = observe
         self.attack_probability = attack_probability
         self.attacks = 0

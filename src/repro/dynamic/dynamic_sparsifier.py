@@ -19,7 +19,7 @@ import numpy as np
 from repro.dynamic.graph import DynamicGraph
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 
 
 class DynamicSparsifier:
@@ -47,13 +47,15 @@ class DynamicSparsifier:
         self,
         num_vertices: int,
         delta: int,
-        rng: int | np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
+        *,
+        seed: int | None = None,
     ) -> None:
         if delta < 1:
             raise ValueError(f"delta must be >= 1, got {delta}")
         self.graph = DynamicGraph(num_vertices)
         self.delta = delta
-        self._rng = derive_rng(rng)
+        self._rng = resolve_rng(seed=seed, rng=rng, owner="DynamicSparsifier")
         self._marks: list[set[int]] = [set() for _ in range(num_vertices)]
         self._edge_refs: dict[tuple[int, int], int] = {}
         self.work_log: list[int] = []

@@ -34,7 +34,7 @@ import numpy as np
 from repro.core.delta import DeltaPolicy
 from repro.dynamic.graph import DynamicGraph
 from repro.dynamic.incremental import DEFAULT_CHUNK, incremental_rebuild
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.matching import Matching
 
 
@@ -81,10 +81,12 @@ class LazyRebuildMatching:
         num_vertices: int,
         beta: int,
         epsilon: float,
-        rng: int | np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
         policy: DeltaPolicy | None = None,
         chunk: int = DEFAULT_CHUNK,
         max_chunks_per_update: int | None = None,
+        *,
+        seed: int | None = None,
     ) -> None:
         if not 0.0 < epsilon < 1.0:
             raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
@@ -95,7 +97,7 @@ class LazyRebuildMatching:
         self._policy = policy or DeltaPolicy.practical()
         self.delta = self._policy.delta(beta, self._static_eps, num_vertices)
         self._sweeps = math.ceil(1.0 / self._static_eps) + 1
-        self._rng = derive_rng(rng)
+        self._rng = resolve_rng(seed=seed, rng=rng, owner="LazyRebuildMatching")
         self._chunk = chunk
         if max_chunks_per_update is not None and max_chunks_per_update < 1:
             raise ValueError("max_chunks_per_update must be >= 1")

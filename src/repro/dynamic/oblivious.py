@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.delta import DeltaPolicy
 from repro.dynamic.dynamic_sparsifier import DynamicSparsifier
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.matching import Matching
 
 
@@ -47,9 +47,11 @@ class ObliviousDynamicMatching:
         num_vertices: int,
         beta: int,
         epsilon: float,
-        rng: int | np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
         policy: DeltaPolicy | None = None,
         chunk_edges: int = 256,
+        *,
+        seed: int | None = None,
     ) -> None:
         if not 0.0 < epsilon < 1.0:
             raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
@@ -58,7 +60,9 @@ class ObliviousDynamicMatching:
         pol = policy or DeltaPolicy.practical()
         self.delta = pol.delta(beta, epsilon / 4.0, num_vertices)
         self.sparsifier = DynamicSparsifier(
-            num_vertices, self.delta, rng=derive_rng(rng)
+            num_vertices,
+            self.delta,
+            rng=resolve_rng(seed=seed, rng=rng, owner="ObliviousDynamicMatching"),
         )
         self._n = num_vertices
         self._chunk_edges = chunk_edges

@@ -1,0 +1,25 @@
+"""Parallel experiment engine (see :mod:`repro.engine.core`).
+
+Fan independent trials — or whole experiments — out over a process
+pool, with determinism guaranteed by spawning per-trial RNGs from the
+root seed before dispatch and merging worker-side counters losslessly
+in task order.  ``workers=1`` is the exact in-process serial path.
+"""
+
+from repro.engine.core import (
+    TrialTask,
+    WorkerSpec,
+    execute,
+    fanout,
+    resolve_workers,
+)
+from repro.engine.tasks import run_registry_experiment
+
+__all__ = [
+    "TrialTask",
+    "WorkerSpec",
+    "execute",
+    "fanout",
+    "resolve_workers",
+    "run_registry_experiment",
+]

@@ -1,0 +1,188 @@
+"""The parallel experiment engine: deterministic fan-out over processes.
+
+Every experiment in this package is a bag of *independent trials* — build
+a sparsifier, run a pipeline, replay an update stream — whose results are
+then folded into one table.  :func:`execute` runs such a bag either
+in-process (``workers=1``, byte-identical to the historical serial path)
+or across a :class:`concurrent.futures.ProcessPoolExecutor`, under three
+invariants that make the two paths indistinguishable except for
+wall-clock time:
+
+**RNG discipline.**  Tasks never derive randomness from worker state.
+The caller spawns one child generator per trial from the root seed
+*before* dispatch (:func:`repro.instrument.rng.spawn_rngs` — numpy's
+spawn-key mechanism, so child k is the same stream no matter which
+process eventually runs it) and attaches it to the
+:class:`TrialTask`.  Results are therefore identical for any worker
+count.
+
+**Ordering.**  Results come back in task-submission order
+(``ProcessPoolExecutor.map`` semantics), and worker-side counters are
+merged into the parent in that same order, so downstream folds see a
+deterministic sequence.
+
+**Pickling contract.**  A task's ``fn`` must be an importable
+module-level function, and its arguments must be cheap to ship: send the
+*generator spec and seed*, not the built graph, and rebuild (memoized)
+inside the worker.  A large object genuinely shared by every task can be
+broadcast once per worker via ``context=`` instead of once per task.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Literal, Sequence
+
+import numpy as np
+
+from repro.instrument.counters import CounterSet
+from repro.instrument.rng import spawn_rngs
+
+WorkerSpec = int | Literal["auto"]
+
+
+def resolve_workers(workers: WorkerSpec) -> int:
+    """Turn a ``--workers`` style spec into a concrete process count.
+
+    ``"auto"`` means one worker per available CPU (never less than 1);
+    integers pass through after validation.
+    """
+    if workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    count = int(workers)
+    if count < 1:
+        raise ValueError(f"workers must be >= 1 or 'auto', got {workers!r}")
+    return count
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One unit of independent work for :func:`execute`.
+
+    Attributes
+    ----------
+    fn:
+        Module-level function to call (must be picklable by reference).
+    args, kwargs:
+        Positional/keyword payload.  Everything here crosses a process
+        boundary when ``workers > 1`` — ship generator specs and seeds,
+        not built graphs.
+    rng:
+        Pre-spawned child generator, passed to ``fn`` as the ``rng``
+        keyword.  Spawn it from the root seed *before* building the task
+        (see :func:`fanout`) so results are worker-count independent.
+    wants_context:
+        If true, ``fn`` receives the broadcast ``context`` object (sent
+        once per worker, not once per task) as a ``context`` keyword.
+    wants_metrics:
+        If true, ``fn`` receives a fresh
+        :class:`~repro.instrument.counters.CounterSet` as a ``metrics``
+        keyword; the engine merges it into the parent's set after the
+        task completes, losslessly and in task order.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    rng: np.random.Generator | None = None
+    wants_context: bool = False
+    wants_metrics: bool = False
+
+
+def fanout(
+    fn: Callable[..., Any],
+    rng: np.random.Generator,
+    kwargs_list: Sequence[dict],
+    **task_options: Any,
+) -> list[TrialTask]:
+    """Build one :class:`TrialTask` per kwargs dict, each with its own
+    child generator spawned from ``rng`` in list order.
+
+    This is the standard way experiments turn a trial loop into a task
+    list: the spawn sequence is exactly the one the old inline loop
+    produced (numpy spawn keys are consumed left to right), so tables
+    stay byte-identical to the serial implementation.
+    """
+    children = spawn_rngs(rng, len(kwargs_list))
+    return [
+        TrialTask(fn=fn, kwargs=dict(kwargs), rng=child, **task_options)
+        for kwargs, child in zip(kwargs_list, children)
+    ]
+
+
+_WORKER_CONTEXT: Any = None
+
+
+def _init_worker(context: Any) -> None:
+    """Pool initializer: stash the broadcast context in the worker."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_task(task: TrialTask, context: Any) -> tuple[Any, CounterSet | None]:
+    kwargs = dict(task.kwargs)
+    if task.rng is not None:
+        kwargs["rng"] = task.rng
+    if task.wants_context:
+        kwargs["context"] = context
+    metrics: CounterSet | None = None
+    if task.wants_metrics:
+        metrics = CounterSet()
+        kwargs["metrics"] = metrics
+    return task.fn(*task.args, **kwargs), metrics
+
+
+def _pool_entry(task: TrialTask) -> tuple[Any, CounterSet | None]:
+    return _run_task(task, _WORKER_CONTEXT)
+
+
+def execute(
+    tasks: Iterable[TrialTask],
+    *,
+    workers: WorkerSpec = 1,
+    metrics: CounterSet | None = None,
+    context: Any = None,
+) -> list[Any]:
+    """Run every task and return their results in task order.
+
+    Parameters
+    ----------
+    tasks:
+        The independent work items.
+    workers:
+        Process count or ``"auto"``.  ``workers=1`` runs everything
+        in-process with no executor, pickling, or subprocess involved —
+        the exact historical serial path.
+    metrics:
+        Parent :class:`~repro.instrument.counters.CounterSet`; each
+        task flagged ``wants_metrics`` contributes its worker-side
+        counts via :meth:`CounterSet.merge`, in task order.
+    context:
+        Optional object broadcast once per worker (via the pool
+        initializer) to every task flagged ``wants_context`` — use for
+        a graph shared by all trials instead of shipping it per task.
+
+    Returns
+    -------
+    list:
+        ``fn`` return values, one per task, in submission order.
+    """
+    task_list = list(tasks)
+    count = resolve_workers(workers)
+    if count == 1 or len(task_list) <= 1:
+        outcomes = [_run_task(task, context) for task in task_list]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(count, len(task_list)),
+            initializer=_init_worker,
+            initargs=(context,),
+        ) as pool:
+            outcomes = list(pool.map(_pool_entry, task_list))
+    results = []
+    for value, task_metrics in outcomes:
+        if metrics is not None and task_metrics is not None:
+            metrics.merge(task_metrics)
+        results.append(value)
+    return results

@@ -1,0 +1,26 @@
+"""Generic picklable task functions for the engine.
+
+Experiment-specific trial functions live next to their experiment (they
+need the experiment's builders); this module hosts the cross-cutting
+ones, chiefly the whole-experiment dispatch used by ``repro-experiments
+all --workers N``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def run_registry_experiment(
+    key: str, seed: int = 0, params: dict[str, Any] | None = None
+):
+    """Run one registered experiment end to end and return its table.
+
+    The registry is resolved inside the worker (import by name keeps the
+    task payload tiny); ``params`` are forwarded to the experiment's
+    ``run(**params)`` verbatim.  Tables are plain dataclasses of python
+    lists, so they travel back over the pool unchanged.
+    """
+    from repro.experiments import REGISTRY
+
+    return REGISTRY[key](seed=seed, **(params or {}))

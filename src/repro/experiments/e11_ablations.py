@@ -12,14 +12,17 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.core.delta import DeltaPolicy
 from repro.core.sparsifier import build_sparsifier
+from repro.engine.core import TrialTask, execute
 from repro.experiments.tables import Table
 from repro.graphs.builder import from_edges
 from repro.graphs.generators.cliques import clique, clique_union
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import derive_rng, spawn_rngs
 from repro.matching.blossom import mcm_exact
 
 
@@ -49,11 +52,25 @@ def _mutual_sparsifier(graph, delta, rng=None):
     return from_edges(graph.num_vertices, edges)
 
 
+@lru_cache(maxsize=4)
+def _panel_graph(num_cliques: int, clique_size: int):
+    """Worker-side rebuild of the panel (a) clique union (memoized)."""
+    return clique_union(num_cliques, clique_size)
+
+
+def _panel_trial(num_cliques: int, clique_size: int, delta: int, *, rng) -> int:
+    """One panel (a)/(a2) trial: |MCM(G_Δ)| on the shared clique union."""
+    graph = _panel_graph(num_cliques, clique_size)
+    res = build_sparsifier(graph, delta, rng=rng)
+    return mcm_exact(res.subgraph).size
+
+
 def run(
     constants: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0),
     epsilon: float = 0.3,
     trials: int = 5,
     seed: int = 0,
+    workers: int | str = 1,
 ) -> Table:
     """Produce the E11 table; see module docstring."""
     rng = np.random.default_rng(seed)
@@ -64,26 +81,30 @@ def run(
                "mutual marking caps the degree but destroys matchings on "
                "bounded-beta graphs (Section 3.2)"],
     )
-    # Panel (a): constant sweep on a dense clique union.
+    # Panels (a)/(a2): independent sparsifier trials on one dense clique
+    # union, fanned out through the engine (child RNGs spawned in the
+    # order the old inline loops consumed them).
     graph = clique_union(4, 60)
     opt = mcm_exact(graph).size
-    for c in constants:
-        delta = DeltaPolicy(constant=c).delta(1, epsilon, graph.num_vertices)
-        ratios = []
-        for _ in range(trials):
-            res = build_sparsifier(graph, delta, rng=rng.spawn(1)[0])
-            size = mcm_exact(res.subgraph).size
-            ratios.append(opt / size if size else float("inf"))
-        table.add_row("a: constant", f"c={c}", delta, max(ratios),
-                      float(np.mean(ratios)))
-    # Panel (a2): where does union marking actually break?  Fixed tiny Δ.
-    for delta in (1, 2, 3):
-        ratios = []
-        for _ in range(trials):
-            res = build_sparsifier(graph, delta, rng=rng.spawn(1)[0])
-            size = mcm_exact(res.subgraph).size
-            ratios.append(opt / size if size else float("inf"))
-        table.add_row("a2: tiny delta", f"delta={delta}", delta, max(ratios),
+    groups: list[tuple[str, str, int]] = []
+    tasks: list[TrialTask] = []
+    panel_a = [("a: constant", f"c={c}",
+                DeltaPolicy(constant=c).delta(1, epsilon, graph.num_vertices))
+               for c in constants]
+    panel_a2 = [("a2: tiny delta", f"delta={d}", d) for d in (1, 2, 3)]
+    for panel, setting, delta in panel_a + panel_a2:
+        for child in spawn_rngs(rng, trials):
+            tasks.append(TrialTask(
+                fn=_panel_trial,
+                kwargs={"num_cliques": 4, "clique_size": 60, "delta": delta},
+                rng=child,
+            ))
+        groups.append((panel, setting, delta))
+    sizes = execute(tasks, workers=workers)
+    for i, (panel, setting, delta) in enumerate(groups):
+        batch = sizes[i * trials:(i + 1) * trials]
+        ratios = [opt / s if s else float("inf") for s in batch]
+        table.add_row(panel, setting, delta, max(ratios),
                       float(np.mean(ratios)))
     # Panel (b): union vs mutual marking on one clique.
     kn = clique(120)

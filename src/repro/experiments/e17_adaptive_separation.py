@@ -22,9 +22,16 @@ import numpy as np
 from repro.dynamic.adversaries import AdaptiveAdversary, ObliviousAdversary
 from repro.dynamic.lazy_rebuild import LazyRebuildMatching
 from repro.dynamic.oblivious import ObliviousDynamicMatching
+from repro.engine.core import TrialTask, execute
 from repro.experiments.tables import Table
 from repro.graphs.generators.cliques import clique_union
+from repro.instrument.rng import spawn_rngs
 from repro.matching.blossom import mcm_exact
+
+_ALGORITHMS = {
+    "Thm 3.5 (windowed rebuild)": LazyRebuildMatching,
+    "oblivious scheme (sec. 3.3 warm-up)": ObliviousDynamicMatching,
+}
 
 
 def _worst_ratio(alg, adversary, steps: int, probe_every: int = 100) -> float:
@@ -41,6 +48,33 @@ def _worst_ratio(alg, adversary, steps: int, probe_every: int = 100) -> float:
     return worst
 
 
+def _stream_trial(
+    alg_name: str, adv_kind: str, clique_size: int, num_cliques: int,
+    steps: int, epsilon: float, rng_alg, rng_adv,
+) -> float:
+    """One full update-stream trial; returns its worst observed ratio.
+
+    The host universe is rebuilt in the worker (deterministic, tiny);
+    the algorithm's and the adversary's generators are pre-spawned by
+    the parent in the historical order (algorithm first, adversary
+    second), so the replayed streams match the serial implementation.
+    """
+    host = clique_union(num_cliques, clique_size)
+    universe = list(host.edges())
+    n = host.num_vertices
+    alg = _ALGORITHMS[alg_name](n, 1, epsilon, rng=rng_alg)
+    if adv_kind == "adaptive":
+        adversary = AdaptiveAdversary(
+            universe, observe=lambda: alg.matching,
+            attack_probability=0.6, rng=rng_adv)
+    else:
+        adversary = ObliviousAdversary(universe, 0.5, rng=rng_adv)
+    adversary.preload(universe)
+    for u, v in universe:
+        alg.insert(u, v)
+    return _worst_ratio(alg, adversary, steps)
+
+
 def run(
     clique_size: int = 16,
     num_cliques: int = 4,
@@ -48,11 +82,11 @@ def run(
     epsilon: float = 0.4,
     trials: int = 3,
     seed: int = 0,
+    workers: int | str = 1,
 ) -> Table:
     """Produce the E17 table; see module docstring."""
     rng = np.random.default_rng(seed)
     host = clique_union(num_cliques, clique_size)
-    universe = list(host.edges())
     n = host.num_vertices
     table = Table(
         title="E17  Adaptive adversary: Theorem 3.5 vs the oblivious scheme",
@@ -64,26 +98,25 @@ def run(
                f"n = {n}, {steps} updates, eps = {epsilon}, "
                f"{trials} trials per cell"],
     )
-    algorithms = [("Thm 3.5 (windowed rebuild)", LazyRebuildMatching),
-                  ("oblivious scheme (sec. 3.3 warm-up)",
-                   ObliviousDynamicMatching)]
-    for alg_name, alg_cls in algorithms:
-        for adv_kind in ("oblivious", "adaptive"):
-            worst = 1.0
-            for _ in range(trials):
-                alg = alg_cls(n, 1, epsilon, rng=rng.spawn(1)[0])
-                if adv_kind == "adaptive":
-                    adversary = AdaptiveAdversary(
-                        universe, observe=lambda a=alg: a.matching,
-                        attack_probability=0.6, rng=rng.spawn(1)[0])
-                else:
-                    adversary = ObliviousAdversary(universe, 0.5,
-                                                   rng=rng.spawn(1)[0])
-                adversary.preload(universe)
-                for u, v in universe:
-                    alg.insert(u, v)
-                worst = max(worst, _worst_ratio(alg, adversary, steps))
-            table.add_row(alg_name, adv_kind, worst, worst <= 1 + epsilon)
+    cells = [(alg_name, adv_kind)
+             for alg_name in _ALGORITHMS
+             for adv_kind in ("oblivious", "adaptive")]
+    tasks: list[TrialTask] = []
+    for alg_name, adv_kind in cells:
+        for _ in range(trials):
+            rng_alg, rng_adv = spawn_rngs(rng, 2)
+            tasks.append(TrialTask(
+                fn=_stream_trial,
+                kwargs={"alg_name": alg_name, "adv_kind": adv_kind,
+                        "clique_size": clique_size,
+                        "num_cliques": num_cliques, "steps": steps,
+                        "epsilon": epsilon,
+                        "rng_alg": rng_alg, "rng_adv": rng_adv},
+            ))
+    ratios = execute(tasks, workers=workers)
+    for i, (alg_name, adv_kind) in enumerate(cells):
+        worst = max([1.0] + ratios[i * trials:(i + 1) * trials])
+        table.add_row(alg_name, adv_kind, worst, worst <= 1 + epsilon)
     return table
 
 

@@ -33,7 +33,7 @@ def run(
     )
     for delta in deltas:
         closed = exact_preservation_probability(half, delta)
-        empirical = empirical_exact_preservation(half, delta, trials, rng=seed)
+        empirical = empirical_exact_preservation(half, delta, trials, seed=seed)
         table.add_row(n, delta, closed, min(1.0, 4 * delta / n), empirical)
     return table
 

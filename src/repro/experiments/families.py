@@ -44,21 +44,21 @@ def standard_families(scale: int = 1) -> list[Family]:
         Family(
             "line-graph(β≤2)",
             2,
-            lambda seed, s=s: random_line_graph(24 * s, 0.6, rng=seed),
+            lambda seed, s=s: random_line_graph(24 * s, 0.6, seed=seed),
         ),
         Family(
             "unit-disk(β≤5)",
             5,
-            lambda seed, s=s: unit_disk_graph(250 * s, 3.0, rng=seed)[0],
+            lambda seed, s=s: unit_disk_graph(250 * s, 3.0, seed=seed)[0],
         ),
         Family(
             "diversity(β≤3)",
             3,
-            lambda seed, s=s: bounded_diversity_graph(16 * s, 20, 3, rng=seed),
+            lambda seed, s=s: bounded_diversity_graph(16 * s, 20, 3, seed=seed),
         ),
         Family(
             "claw-free(β≤2)",
             2,
-            lambda seed, s=s: claw_free_complement(120 * s, rng=seed),
+            lambda seed, s=s: claw_free_complement(120 * s, seed=seed),
         ),
     ]

@@ -16,8 +16,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.sparsifier import build_sparsifier
+from repro.engine.core import TrialTask, execute
 from repro.graphs.adjacency import AdjacencyArrayGraph
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng, spawn_rngs
 from repro.matching.blossom import mcm_exact
 
 
@@ -66,24 +67,55 @@ class QualityReplication:
     confidence_high: float
 
 
+def _replication_trial(delta: int, *, context, rng) -> int:
+    """One replication trial: |MCM(G_Δ)| on the broadcast graph.
+
+    ``context`` is the input graph, shipped once per worker by the
+    engine rather than once per task.
+    """
+    res = build_sparsifier(context, delta, rng=rng, sampler="vectorized")
+    return mcm_exact(res.subgraph).size
+
+
 def replicate_quality(
     graph: AdjacencyArrayGraph,
     delta: int,
     epsilon: float,
     trials: int,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
+    workers: int | str = 1,
 ) -> QualityReplication:
-    """Estimate P[G_Δ is a (1+ε)-sparsifier] with a Wilson interval."""
+    """Estimate P[G_Δ is a (1+ε)-sparsifier] with a Wilson interval.
+
+    Trials are embarrassingly parallel: per-trial generators are
+    spawned from the root before dispatch (so the estimate is identical
+    for any ``workers`` value) and fanned out through
+    :mod:`repro.engine`.
+
+    Parameters
+    ----------
+    graph, delta, epsilon, trials:
+        Instance, sparsifier parameter, quality target, replication count.
+    rng, seed:
+        Uniform randomness keywords — pass an existing generator via
+        ``rng=`` or an integer via ``seed=`` (not both).
+    workers:
+        Process count or ``"auto"`` for the trial fan-out.
+    """
     if trials < 1:
         raise ValueError("need at least one trial")
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="replicate_quality")
     opt = mcm_exact(graph).size
+    tasks = [
+        TrialTask(fn=_replication_trial, kwargs={"delta": delta},
+                  rng=child, wants_context=True)
+        for child in spawn_rngs(gen, trials)
+    ]
     successes = 0
     worst = 1.0
-    for _ in range(trials):
-        res = build_sparsifier(graph, delta, rng=gen.spawn(1)[0],
-                               sampler="vectorized")
-        got = mcm_exact(res.subgraph).size
+    for got in execute(tasks, workers=workers, context=graph):
         ratio = opt / got if got else float("inf")
         worst = max(worst, ratio)
         if ratio <= 1.0 + epsilon:

@@ -14,14 +14,16 @@ from scipy.spatial import cKDTree
 
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 
 
 def unit_disk_graph(
     num_points: int,
     area_side: float,
     radius: float = 1.0,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> tuple[AdjacencyArrayGraph, np.ndarray]:
     """Random unit-disk graph on uniform points in an ``area_side`` square.
 
@@ -39,7 +41,7 @@ def unit_disk_graph(
         raise ValueError(f"num_points must be non-negative, got {num_points}")
     if area_side <= 0 or radius <= 0:
         raise ValueError("area_side and radius must be positive")
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="unit_disk_graph")
     points = gen.random((num_points, 2)) * area_side
     tree = cKDTree(points)
     pairs = tree.query_pairs(r=radius, output_type="ndarray")
@@ -51,7 +53,9 @@ def quasi_unit_disk_graph(
     area_side: float,
     inner_radius: float,
     outer_radius: float,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> tuple[AdjacencyArrayGraph, np.ndarray]:
     """Quasi-unit-disk graph [62]: certain edges below ``inner_radius``,
     impossible above ``outer_radius``, random in between.
@@ -61,7 +65,7 @@ def quasi_unit_disk_graph(
     """
     if not 0 < inner_radius <= outer_radius:
         raise ValueError("need 0 < inner_radius <= outer_radius")
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="quasi_unit_disk_graph")
     points = gen.random((num_points, 2)) * area_side
     tree = cKDTree(points)
     pairs = tree.query_pairs(r=outer_radius, output_type="ndarray")

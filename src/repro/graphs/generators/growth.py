@@ -14,14 +14,16 @@ import numpy as np
 
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 
 
 def interval_graph(
     num_intervals: int,
     length: float,
     span: float,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> AdjacencyArrayGraph:
     """Intersection graph of random equal-length intervals on [0, span].
 
@@ -31,7 +33,7 @@ def interval_graph(
     """
     if num_intervals < 0 or length <= 0 or span <= 0:
         raise ValueError("invalid interval graph parameters")
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="interval_graph")
     starts = np.sort(gen.random(num_intervals) * span)
     # Intervals i < j intersect iff starts[j] <= starts[i] + length.
     edges: list[tuple[int, int]] = []
@@ -73,7 +75,9 @@ def bounded_diversity_graph(
     num_cliques: int,
     clique_size: int,
     diversity: int,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> AdjacencyArrayGraph:
     """A random edge-union of cliques with per-vertex clique membership ≤ diversity.
 
@@ -85,7 +89,7 @@ def bounded_diversity_graph(
     """
     if num_cliques < 1 or clique_size < 2 or diversity < 1:
         raise ValueError("invalid bounded diversity parameters")
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="bounded_diversity_graph")
     n = max(clique_size, (num_cliques * clique_size) // diversity + clique_size)
     budget = np.full(n, diversity, dtype=np.int64)
     edges: list[tuple[int, int]] = []

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 
 
 def line_graph(
@@ -45,7 +45,9 @@ def line_graph(
 def random_line_graph(
     host_vertices: int,
     host_edge_probability: float,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> AdjacencyArrayGraph:
     """Line graph of a G(n, p) host graph; β ≤ 2.
 
@@ -55,7 +57,7 @@ def random_line_graph(
     """
     if not 0.0 <= host_edge_probability <= 1.0:
         raise ValueError(f"probability out of range: {host_edge_probability}")
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="random_line_graph")
     idx = np.arange(host_vertices, dtype=np.int64)
     u, v = np.meshgrid(idx, idx, indexing="ij")
     mask = u < v

@@ -13,16 +13,20 @@ import numpy as np
 
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 
 
 def erdos_renyi(
-    n: int, p: float, rng: int | np.random.Generator | None = None
+    n: int,
+    p: float,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> AdjacencyArrayGraph:
     """G(n, p).  β is typically Θ(log n / log(1/(1−p))) — *not* bounded."""
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"p out of range: {p}")
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="erdos_renyi")
     idx = np.arange(n, dtype=np.int64)
     u, v = np.meshgrid(idx, idx, indexing="ij")
     mask = u < v
@@ -32,7 +36,12 @@ def erdos_renyi(
 
 
 def random_bipartite(
-    left: int, right: int, p: float, rng: int | np.random.Generator | None = None
+    left: int,
+    right: int,
+    p: float,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> AdjacencyArrayGraph:
     """Random bipartite graph: left vertices 0..left−1, right after.
 
@@ -41,7 +50,7 @@ def random_bipartite(
     """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"p out of range: {p}")
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="random_bipartite")
     li = np.arange(left, dtype=np.int64)
     ri = np.arange(right, dtype=np.int64) + left
     u, v = np.meshgrid(li, ri, indexing="ij")
@@ -52,7 +61,9 @@ def random_bipartite(
 
 def claw_free_complement(
     n: int,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> AdjacencyArrayGraph:
     """A dense claw-free graph: the complement of a random bipartite graph.
 
@@ -64,7 +75,7 @@ def claw_free_complement(
     """
     if n < 0:
         raise ValueError(f"n must be non-negative, got {n}")
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="claw_free_complement")
     half = n // 2
     idx = np.arange(n, dtype=np.int64)
     u, v = np.meshgrid(idx, idx, indexing="ij")
@@ -80,7 +91,9 @@ def beta_controlled_graph(
     num_blocks: int,
     block_size: int,
     beta: int,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> AdjacencyArrayGraph:
     """Dense graph engineered to have β exactly equal to ``beta``.
 
@@ -96,7 +109,7 @@ def beta_controlled_graph(
         raise ValueError(
             "need num_blocks >= beta >= 1 and block_size >= max(2, beta)"
         )
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="beta_controlled_graph")
     n_core = num_blocks * block_size
     edges: list[tuple[int, int]] = []
     for c in range(num_blocks):

@@ -112,7 +112,10 @@ def neighborhood_independence_exact(
 
 
 def neighborhood_independence_greedy(
-    graph: AdjacencyArrayGraph, rng: np.random.Generator | None = None
+    graph: AdjacencyArrayGraph,
+    rng: np.random.Generator | None = None,
+    *,
+    seed: int | None = None,
 ) -> int:
     """Greedy lower bound on β(G).
 
@@ -121,6 +124,11 @@ def neighborhood_independence_greedy(
     ≤ β(G); equals it on the structured families used in experiments
     (cliques, line graphs of simple graphs) in practice.
     """
+    if seed is not None:
+        from repro.instrument.rng import resolve_rng
+
+        rng = resolve_rng(seed=seed, rng=rng,
+                          owner="neighborhood_independence_greedy")
     degrees = np.diff(graph.indptr)
     best = 0
     for v in range(graph.num_vertices):
@@ -170,9 +178,11 @@ def neighborhood_independence_upper(graph: AdjacencyArrayGraph) -> int:
 
 def neighborhood_independence_sampled(
     graph: AdjacencyArrayGraph,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     vertex_samples: int = 32,
     max_neighborhood: int = 256,
+    *,
+    seed: int | None = None,
 ) -> int:
     """Sublinear-style lower-bound estimate of β(G) by vertex sampling.
 
@@ -184,9 +194,10 @@ def neighborhood_independence_sampled(
     family certificate — underestimating β risks quality, so pair it
     with a safety factor.
     """
-    from repro.instrument.rng import derive_rng
+    from repro.instrument.rng import resolve_rng
 
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng,
+                      owner="neighborhood_independence_sampled")
     n = graph.num_vertices
     if n == 0:
         return 0

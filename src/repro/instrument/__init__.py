@@ -7,7 +7,14 @@ experiments are reproducible bit-for-bit given a seed.
 """
 
 from repro.instrument.counters import Counter, CounterSet
-from repro.instrument.rng import derive_rng, spawn_rngs
+from repro.instrument.rng import derive_rng, resolve_rng, spawn_rngs
 from repro.instrument.timers import Timer
 
-__all__ = ["Counter", "CounterSet", "Timer", "derive_rng", "spawn_rngs"]
+__all__ = [
+    "Counter",
+    "CounterSet",
+    "Timer",
+    "derive_rng",
+    "resolve_rng",
+    "spawn_rngs",
+]

@@ -11,6 +11,7 @@ would otherwise drown the asymptotics the paper is about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 
 class Counter:
@@ -54,6 +55,22 @@ class Counter:
         """Zero the counter (used between experiment trials)."""
         self.value = 0
 
+    def merge(self, other: "Counter | int") -> "Counter":
+        """Fold another counter's total into this one.
+
+        Counters are monotone sums of events, so merging is plain
+        addition — the basis of lossless cross-process aggregation in
+        :mod:`repro.engine`.
+
+        Examples
+        --------
+        >>> a, b = Counter("probes"), Counter("probes")
+        >>> a.add(3); b.add(4); a.merge(b).value
+        7
+        """
+        self.add(other.value if isinstance(other, Counter) else other)
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.name!r}, value={self.value})"
 
@@ -87,3 +104,29 @@ class CounterSet:
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of all current counter values."""
         return {name: counter.value for name, counter in self.counters.items()}
+
+    def merge(self, other: "CounterSet | Mapping[str, int]") -> "CounterSet":
+        """Add every count from ``other`` into this set, creating counters
+        as needed.
+
+        This is the aggregation primitive of the parallel experiment
+        engine: each worker process records probes/messages/rounds into
+        its own fresh :class:`CounterSet`, and the parent merges the
+        returned sets **in task order**, so totals are identical to a
+        serial run and sublinearity certificates stay exact.
+
+        Accepts another :class:`CounterSet` or any name→count mapping
+        (e.g. a :meth:`snapshot` shipped across a process boundary).
+
+        Examples
+        --------
+        >>> parent, worker = CounterSet(), CounterSet()
+        >>> parent["probes"].add(10)
+        >>> worker["probes"].add(5); worker["messages"].add(2)
+        >>> parent.merge(worker).snapshot()
+        {'probes': 15, 'messages': 2}
+        """
+        items = other.snapshot() if isinstance(other, CounterSet) else other
+        for name, value in items.items():
+            self[name].add(value)
+        return self

@@ -11,6 +11,8 @@ derive independent child generators from a root seed so that
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 
@@ -24,6 +26,58 @@ def derive_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Gener
     if isinstance(seed_or_rng, np.random.Generator):
         return seed_or_rng
     return np.random.default_rng(seed_or_rng)
+
+
+def resolve_rng(
+    seed: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    owner: str = "this function",
+) -> np.random.Generator:
+    """Resolve the uniform ``seed=`` / ``rng=`` keyword pair to a generator.
+
+    The public surface accepts both keywords on every randomized entry
+    point: ``seed`` is an integer (or ``None`` for fresh OS entropy) and
+    ``rng`` is an existing :class:`numpy.random.Generator` to thread
+    through a pipeline.  Passing both is an error.
+
+    Two legacy call shapes from the pre-1.1 surface keep working, each
+    with a :class:`DeprecationWarning`:
+
+    * an **integer** passed via ``rng=`` (use ``seed=`` instead);
+    * a **generator** passed via ``seed=`` (use ``rng=`` instead —
+      the old ``RandomSparsifier(beta, eps, seed=gen)`` shape).
+
+    Parameters
+    ----------
+    seed:
+        Integer root seed, or ``None``.
+    rng:
+        Existing generator (returned unchanged), or ``None``.
+    owner:
+        Name of the calling API, used in error/warning messages.
+    """
+    if seed is not None and rng is not None:
+        raise ValueError(f"{owner}: pass either seed= or rng=, not both")
+    if rng is not None:
+        if isinstance(rng, np.random.Generator):
+            return rng
+        warnings.warn(
+            f"{owner}: passing an integer seed via rng= is deprecated; "
+            "use the seed= keyword instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return np.random.default_rng(rng)
+    if isinstance(seed, np.random.Generator):
+        warnings.warn(
+            f"{owner}: passing a Generator via seed= is deprecated; "
+            "use the rng= keyword instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return seed
+    return np.random.default_rng(seed)
 
 
 def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:

@@ -27,7 +27,7 @@ import math
 import numpy as np
 
 from repro.graphs.adjacency import AdjacencyArrayGraph
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.blossom import _BlossomSearch
 from repro.matching.greedy import greedy_maximal_matching
 from repro.matching.matching import Matching
@@ -44,7 +44,9 @@ def mcm_approx(
     graph: AdjacencyArrayGraph,
     epsilon: float | None = None,
     sweeps: int | None = None,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> Matching:
     """Approximate MCM by greedy warm start + bounded augmentation sweeps.
 
@@ -79,7 +81,10 @@ def mcm_approx(
             raise ValueError(f"sweeps must be non-negative, got {sweeps}")
         budget = sweeps
 
-    matching = greedy_maximal_matching(graph, rng=derive_rng(rng) if rng is not None else None)
+    warm_rng = None
+    if rng is not None or seed is not None:
+        warm_rng = resolve_rng(seed=seed, rng=rng, owner="mcm_approx")
+    matching = greedy_maximal_matching(graph, rng=warm_rng)
     mate = matching.mate.copy()
     search = _BlossomSearch(graph, mate)
     sweep = 0

@@ -9,13 +9,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.adjacency import AdjacencyArrayGraph
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.matching import Matching
 
 
 def greedy_maximal_matching(
     graph: AdjacencyArrayGraph,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> Matching:
     """Scan edges once, matching any edge whose endpoints are both free.
 
@@ -35,8 +37,8 @@ def greedy_maximal_matching(
     """
     mate = np.full(graph.num_vertices, -1, dtype=np.int64)
     edge_arr = graph.edge_array()
-    if rng is not None:
-        gen = derive_rng(rng)
+    if rng is not None or seed is not None:
+        gen = resolve_rng(seed=seed, rng=rng, owner="greedy_maximal_matching")
         edge_arr = edge_arr[gen.permutation(edge_arr.shape[0])]
     for u, v in edge_arr:
         if mate[u] == -1 and mate[v] == -1:

@@ -27,7 +27,7 @@ import numpy as np
 from repro.core.delta import DeltaPolicy
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.blossom import mcm_exact
 from repro.matching.matching import Matching
 from repro.mpc.simulator import MPCSimulator
@@ -69,8 +69,10 @@ def mpc_approx_matching(
     epsilon: float,
     num_machines: int,
     memory_per_machine: int | None = None,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     policy: DeltaPolicy | None = None,
+    *,
+    seed: int | None = None,
 ) -> MPCResult:
     """Run the three-round MPC matching protocol.
 
@@ -87,8 +89,9 @@ def mpc_approx_matching(
         S in words; default 8·(n·Δ + n), comfortably fitting the
         sparsifier plus routing overhead while typically far below 2m
         for dense inputs.
-    rng:
-        Seed or generator.
+    rng, seed:
+        Uniform randomness keywords — a generator via ``rng=`` or an
+        integer via ``seed=`` (not both).
 
     Raises
     ------
@@ -96,7 +99,7 @@ def mpc_approx_matching(
         If any machine (including the coordinator) would exceed S — in
         particular if you ask it to centralize the *raw* graph instead.
     """
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="mpc_approx_matching")
     pol = policy or DeltaPolicy.practical()
     n = graph.num_vertices
     delta = pol.delta(beta, epsilon, n)

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.instrument.counters import Counter
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.matching import Matching
 
 
@@ -55,8 +55,10 @@ class AS19Result:
 def as19_maximal_matching(
     graph: AdjacencyArrayGraph,
     beta: int,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     constant: float = 4.0,
+    *,
+    seed: int | None = None,
 ) -> AS19Result:
     """Run the Assadi–Solomon-style randomized maximal matching.
 
@@ -77,7 +79,7 @@ def as19_maximal_matching(
     """
     if beta < 1:
         raise ValueError(f"beta must be >= 1, got {beta}")
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="as19_maximal_matching")
     counter = Counter("probes")
     counted = graph.with_probe_counter(counter)
     n = graph.num_vertices

@@ -23,7 +23,7 @@ from repro.core.delta import DeltaPolicy
 from repro.core.sparsifier import SamplerName, build_sparsifier
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.instrument.counters import Counter
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.approx import mcm_approx
 from repro.matching.blossom import mcm_exact
 from repro.matching.matching import Matching
@@ -59,10 +59,12 @@ def approximate_matching(
     graph: AdjacencyArrayGraph,
     beta: int,
     epsilon: float,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     policy: DeltaPolicy | None = None,
     matcher: MatcherName = "exact",
     sampler: SamplerName = "pos_array",
+    *,
+    seed: int | None = None,
 ) -> SequentialResult:
     """Compute a (1+ε)-approximate MCM in sublinear probes (Theorem 3.1).
 
@@ -72,8 +74,9 @@ def approximate_matching(
         Input graph with neighborhood independence ≤ ``beta``.
     beta, epsilon:
         Structure and quality parameters; Δ is derived via ``policy``.
-    rng:
-        Seed or generator for the sparsifier's randomness.
+    rng, seed:
+        Uniform randomness keywords for the sparsifier — an existing
+        generator via ``rng=`` or an integer via ``seed=`` (not both).
     policy:
         Δ policy; defaults to :meth:`DeltaPolicy.practical`.
     matcher:
@@ -94,8 +97,9 @@ def approximate_matching(
     stage_eps = epsilon if matcher == "exact" else epsilon / 2.0
     delta = pol.delta(beta, stage_eps, graph.num_vertices)
     counter = Counter("probes")
+    gen = resolve_rng(seed=seed, rng=rng, owner="approximate_matching")
     result = build_sparsifier(
-        graph, delta, rng=derive_rng(rng), sampler=sampler, probe_counter=counter
+        graph, delta, rng=gen, sampler=sampler, probe_counter=counter
     )
     if matcher == "exact":
         matching = mcm_exact(result.subgraph)

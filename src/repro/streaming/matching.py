@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.delta import DeltaPolicy
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.blossom import mcm_exact
 from repro.matching.matching import Matching
 from repro.streaming.reservoir import streaming_sparsifier
@@ -65,18 +65,23 @@ def streaming_approx_matching(
     stream: EdgeStream,
     beta: int,
     epsilon: float,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     policy: DeltaPolicy | None = None,
+    *,
+    seed: int | None = None,
 ) -> StreamingResult:
     """One-pass (1+ε)-approximate matching for bounded-β streams.
 
     Pass 1 builds G_Δ by per-vertex reservoir sampling; the matching is
     then computed offline on the retained O(n·Δ)-edge subgraph.
+    Randomness follows the uniform convention: a generator via ``rng=``
+    or an integer via ``seed=`` (not both).
     """
     pol = policy or DeltaPolicy.practical()
     delta = pol.delta(beta, epsilon, stream.num_vertices)
     passes_before = stream.passes
-    sparsifier, memory = streaming_sparsifier(stream, delta, rng=derive_rng(rng))
+    gen = resolve_rng(seed=seed, rng=rng, owner="streaming_approx_matching")
+    sparsifier, memory = streaming_sparsifier(stream, delta, rng=gen)
     matching = mcm_exact(sparsifier)
     return StreamingResult(
         matching=matching,

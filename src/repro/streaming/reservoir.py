@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.graphs.builder import from_edges
 from repro.graphs.adjacency import AdjacencyArrayGraph
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 from repro.streaming.stream import EdgeStream
 
 
@@ -67,7 +67,9 @@ class VertexReservoir:
 def streaming_sparsifier(
     stream: EdgeStream,
     delta: int,
-    rng: int | np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
 ) -> tuple[AdjacencyArrayGraph, int]:
     """One-pass construction of G_Δ from an edge stream.
 
@@ -79,7 +81,7 @@ def streaming_sparsifier(
         memory up to constants), which the E13 experiment compares
         against the stream length m.
     """
-    gen = derive_rng(rng)
+    gen = resolve_rng(seed=seed, rng=rng, owner="streaming_sparsifier")
     vertex_rngs = gen.spawn(stream.num_vertices)
     reservoirs = [
         VertexReservoir(delta, vertex_rngs[v]) for v in range(stream.num_vertices)

@@ -7,7 +7,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.graphs.adjacency import AdjacencyArrayGraph
-from repro.instrument.rng import derive_rng
+from repro.instrument.rng import resolve_rng
 
 
 class EdgeStream:
@@ -33,12 +33,14 @@ class EdgeStream:
         self,
         num_vertices: int,
         edges: Iterable[tuple[int, int]],
-        rng: int | np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
+        *,
+        seed: int | None = None,
     ) -> None:
         self.num_vertices = num_vertices
         order = [(min(u, v), max(u, v)) for u, v in edges]
-        if rng is not None:
-            gen = derive_rng(rng)
+        if rng is not None or seed is not None:
+            gen = resolve_rng(seed=seed, rng=rng, owner="EdgeStream")
             order = [order[i] for i in gen.permutation(len(order))]
         self._edges = order
         self.passes = 0
@@ -47,10 +49,12 @@ class EdgeStream:
     def from_graph(
         cls,
         graph: AdjacencyArrayGraph,
-        rng: int | np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
+        *,
+        seed: int | None = None,
     ) -> "EdgeStream":
         """Stream the edges of a materialized graph."""
-        return cls(graph.num_vertices, graph.edges(), rng=rng)
+        return cls(graph.num_vertices, graph.edges(), rng=rng, seed=seed)
 
     def __len__(self) -> int:
         return len(self._edges)

@@ -21,7 +21,7 @@ class TestDegreeBound:
 
 class TestSparsifier:
     def test_max_degree_respected(self):
-        g = erdos_renyi(40, 0.5, rng=0)
+        g = erdos_renyi(40, 0.5, seed=0)
         bound = 5
         # Pass arboricity/eps that produce exactly this bound.
         sp = solomon_sparsifier(g, arboricity=5, epsilon=1 - 1e-9, constant=1.0)
@@ -29,13 +29,13 @@ class TestSparsifier:
         del bound
 
     def test_subgraph(self):
-        g = erdos_renyi(30, 0.4, rng=1)
+        g = erdos_renyi(30, 0.4, seed=1)
         sp = solomon_sparsifier(g, arboricity=4, epsilon=0.5)
         for u, v in sp.edges():
             assert g.has_edge(u, v)
 
     def test_deterministic(self):
-        g = erdos_renyi(30, 0.4, rng=2)
+        g = erdos_renyi(30, 0.4, seed=2)
         a = solomon_sparsifier(g, 4, 0.5)
         b = solomon_sparsifier(g, 4, 0.5)
         assert sorted(a.edges()) == sorted(b.edges())

@@ -60,7 +60,7 @@ class TestPaperBounds:
         g = clique_union(3, 20)
         opt = mcm_exact(g).size
         b = PaperBounds(g.num_vertices, 1, 0.4, mcm_size=opt)
-        res = build_sparsifier(g, b.delta, rng=0)
+        res = build_sparsifier(g, b.delta, seed=0)
         assert opt >= b.mcm_lower_bound
         assert res.subgraph.num_edges <= b.sparsifier_size_sharp
         assert res.subgraph.num_edges <= b.sparsifier_size_naive

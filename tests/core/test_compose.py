@@ -8,12 +8,12 @@ from repro.matching.blossom import mcm_exact
 class TestComposition:
     def test_degree_bound_holds(self):
         g = clique_union(3, 30)
-        comp = composed_sparsifier(g, beta=1, epsilon=0.3, rng=0)
+        comp = composed_sparsifier(g, beta=1, epsilon=0.3, seed=0)
         assert comp.subgraph.max_degree() <= comp.degree_bound
 
     def test_subgraph_chain(self):
         g = clique_union(3, 30)
-        comp = composed_sparsifier(g, beta=1, epsilon=0.3, rng=1)
+        comp = composed_sparsifier(g, beta=1, epsilon=0.3, seed=1)
         for u, v in comp.subgraph.edges():
             assert comp.intermediate.has_edge(u, v)
         for u, v in comp.intermediate.edges():
@@ -22,13 +22,13 @@ class TestComposition:
     def test_quality(self):
         g = clique_union(3, 30)
         opt = mcm_exact(g).size
-        comp = composed_sparsifier(g, beta=1, epsilon=0.3, rng=2)
+        comp = composed_sparsifier(g, beta=1, epsilon=0.3, seed=2)
         got = mcm_exact(comp.subgraph).size
         assert opt <= (1 + 0.3) * got
 
     def test_rescale_flag(self):
         g = clique_union(2, 20)
-        scaled = composed_sparsifier(g, 1, 0.3, rng=3, rescale=True)
-        unscaled = composed_sparsifier(g, 1, 0.3, rng=3, rescale=False)
+        scaled = composed_sparsifier(g, 1, 0.3, seed=3, rescale=True)
+        unscaled = composed_sparsifier(g, 1, 0.3, seed=3, rescale=False)
         # Rescaling runs stages at eps/3, hence a larger delta.
         assert scaled.delta >= unscaled.delta

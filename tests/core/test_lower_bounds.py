@@ -62,7 +62,7 @@ class TestExactPreservation:
     def test_empirical_tracks_closed_form(self):
         half, delta, trials = 25, 5, 300
         closed = exact_preservation_probability(half, delta)
-        emp = empirical_exact_preservation(half, delta, trials, rng=0)
+        emp = empirical_exact_preservation(half, delta, trials, seed=0)
         assert abs(emp - closed) < 0.12  # 3+ sigma slack at 300 trials
 
     def test_full_mcm_check_at_most_bridge_rate(self):

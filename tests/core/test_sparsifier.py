@@ -10,6 +10,8 @@ from repro.graphs.generators import clique, clique_union, erdos_renyi
 from repro.instrument.counters import Counter
 from repro.matching.blossom import mcm_exact
 
+pytestmark = pytest.mark.fast
+
 
 class TestConstruction:
     def test_subgraph_of_input(self, rng):
@@ -30,13 +32,13 @@ class TestConstruction:
 
     def test_low_degree_marks_everything(self):
         g = from_edges(4, [(0, 1), (0, 2), (0, 3)])
-        res = build_sparsifier(g, 10, rng=0)
+        res = build_sparsifier(g, 10, seed=0)
         assert res.subgraph.num_edges == 3
 
     def test_union_semantics(self):
         """An edge is in G_Δ iff at least one endpoint marked it."""
         g = clique(20)
-        res = build_sparsifier(g, 3, rng=1)
+        res = build_sparsifier(g, 3, seed=1)
         marked_pairs = {
             (min(v, u), max(v, u))
             for v, marks in enumerate(res.marked_by)
@@ -60,7 +62,7 @@ class TestConstruction:
         assert a.marked_by == b.marked_by
 
     def test_empty_graph(self):
-        res = build_sparsifier(from_edges(5, []), 3, rng=0)
+        res = build_sparsifier(from_edges(5, []), 3, seed=0)
         assert res.subgraph.num_edges == 0
         assert all(m == () for m in res.marked_by)
 
@@ -68,8 +70,8 @@ class TestConstruction:
 class TestVectorizedSampler:
     def test_same_marking_law(self):
         """Mark counts equal min(delta, deg) and marks are valid."""
-        g = erdos_renyi(40, 0.4, rng=0)
-        res = build_sparsifier(g, 5, rng=1, sampler="vectorized")
+        g = erdos_renyi(40, 0.4, seed=0)
+        res = build_sparsifier(g, 5, seed=1, sampler="vectorized")
         for v, marks in enumerate(res.marked_by):
             assert len(marks) == min(5, g.degree(v))
             assert len(set(marks)) == len(marks)
@@ -94,25 +96,25 @@ class TestVectorizedSampler:
         from repro.instrument.counters import Counter
 
         with pytest.raises(ValueError, match="probe-counted"):
-            build_sparsifier(clique(5), 2, rng=0, sampler="vectorized",
+            build_sparsifier(clique(5), 2, seed=0, sampler="vectorized",
                              probe_counter=Counter("p"))
 
     def test_skip_marks(self):
         g = clique(20)
-        res = build_sparsifier(g, 3, rng=3, sampler="vectorized",
+        res = build_sparsifier(g, 3, seed=3, sampler="vectorized",
                                materialize_marks=False)
         assert all(m == () for m in res.marked_by)
         assert res.subgraph.num_edges > 0
 
     def test_empty_graph(self):
-        res = build_sparsifier(from_edges(4, []), 3, rng=4,
+        res = build_sparsifier(from_edges(4, []), 3, seed=4,
                                sampler="vectorized")
         assert res.subgraph.num_edges == 0
 
     def test_quality_matches_scalar_samplers(self):
         g = clique_union(3, 24)
         opt = mcm_exact(g).size
-        res = build_sparsifier(g, 6, rng=5, sampler="vectorized")
+        res = build_sparsifier(g, 6, seed=5, sampler="vectorized")
         assert opt <= 1.35 * mcm_exact(res.subgraph).size
 
 
@@ -139,7 +141,7 @@ class TestSamplers:
         delta = 6
         for seed in range(5):
             counter = Counter("probes")
-            build_sparsifier(g, delta, rng=seed, probe_counter=counter)
+            build_sparsifier(g, delta, seed=seed, probe_counter=counter)
             expected = g.num_vertices * (1 + delta)
             assert counter.value == expected
 

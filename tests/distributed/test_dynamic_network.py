@@ -14,7 +14,7 @@ class TestDynamicDistributedSparsifier:
             DynamicDistributedSparsifier(4, 0)
 
     def test_marks_track_topology(self):
-        net = DynamicDistributedSparsifier(5, delta=2, rng=0)
+        net = DynamicDistributedSparsifier(5, delta=2, seed=0)
         net.insert(0, 1)
         net.insert(0, 2)
         net.insert(0, 3)
@@ -23,8 +23,8 @@ class TestDynamicDistributedSparsifier:
 
     def test_local_views_consistent_under_churn(self):
         host = clique_union(2, 8)
-        net = DynamicDistributedSparsifier(host.num_vertices, 3, rng=1)
-        adv = ObliviousAdversary(list(host.edges()), 0.4, rng=2)
+        net = DynamicDistributedSparsifier(host.num_vertices, 3, seed=1)
+        adv = ObliviousAdversary(list(host.edges()), 0.4, seed=2)
         for _ in range(300):
             upd = adv.next_update()
             if upd is None:
@@ -37,8 +37,8 @@ class TestDynamicDistributedSparsifier:
     def test_message_bound_per_update(self):
         host = clique_union(2, 20)
         delta = 4
-        net = DynamicDistributedSparsifier(host.num_vertices, delta, rng=3)
-        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=4)
+        net = DynamicDistributedSparsifier(host.num_vertices, delta, seed=3)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, seed=4)
         for upd in adv.stream(400):
             net.update(upd.op, upd.u, upd.v)
         assert net.max_messages_per_update() <= 4 * delta + 2
@@ -46,7 +46,7 @@ class TestDynamicDistributedSparsifier:
     def test_local_memory_bound(self):
         """Own marks ≤ Δ; received marks ≤ current degree."""
         host = clique_union(2, 10)
-        net = DynamicDistributedSparsifier(host.num_vertices, 3, rng=5)
+        net = DynamicDistributedSparsifier(host.num_vertices, 3, seed=5)
         for u, v in host.edges():
             net.insert(u, v)
         for v in range(host.num_vertices):
@@ -56,7 +56,7 @@ class TestDynamicDistributedSparsifier:
     def test_deleted_link_carries_no_message(self):
         """After delete(u,v), neither side's sets reference the other
         unless a *current* edge re-marks them."""
-        net = DynamicDistributedSparsifier(4, delta=5, rng=6)
+        net = DynamicDistributedSparsifier(4, delta=5, seed=6)
         net.insert(0, 1)
         net.delete(0, 1)
         assert 1 not in net.marks_by_me[0]
@@ -66,8 +66,8 @@ class TestDynamicDistributedSparsifier:
         from repro.matching.blossom import mcm_exact
 
         host = clique_union(3, 12)
-        net = DynamicDistributedSparsifier(host.num_vertices, 8, rng=7)
-        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=8)
+        net = DynamicDistributedSparsifier(host.num_vertices, 8, seed=7)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, seed=8)
         adv.preload(list(host.edges()))
         for u, v in host.edges():
             net.insert(u, v)
@@ -79,7 +79,7 @@ class TestDynamicDistributedSparsifier:
         assert opt <= 1.5 * max(1, got)
 
     def test_metrics_accumulate(self):
-        net = DynamicDistributedSparsifier(4, delta=2, rng=9)
+        net = DynamicDistributedSparsifier(4, delta=2, seed=9)
         net.insert(0, 1)
         assert net.metrics.value("messages") > 0
         assert net.metrics.value("bits") == net.metrics.value("messages")

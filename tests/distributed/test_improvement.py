@@ -67,7 +67,7 @@ class TestProtocol:
         for i in range(6):
             b = 4 * i
             mate[b + 1], mate[b + 2] = b + 2, b + 1
-        proto = AugmentingPathEliminationProtocol(2, mate, rng=0)
+        proto = AugmentingPathEliminationProtocol(2, mate, seed=0)
         net = SyncNetwork(g)
         net.run(proto, max_rounds=10_000)
         assert proto.matching.size == 12  # perfect
@@ -75,7 +75,7 @@ class TestProtocol:
     def test_result_valid(self):
         g = _p4_traps(3)
         start = greedy_maximal_matching(g, rng=np.random.default_rng(0))
-        proto = AugmentingPathEliminationProtocol(2, _mate_dict(start), rng=1)
+        proto = AugmentingPathEliminationProtocol(2, _mate_dict(start), seed=1)
         net = SyncNetwork(g)
         net.run(proto, max_rounds=10_000)
         m = proto.matching
@@ -87,7 +87,7 @@ class TestProtocol:
         matching has none, so the protocol stops after one iteration."""
         g = _p4_traps(2)
         start = greedy_maximal_matching(g)
-        proto = AugmentingPathEliminationProtocol(1, _mate_dict(start), rng=2)
+        proto = AugmentingPathEliminationProtocol(1, _mate_dict(start), seed=2)
         net = SyncNetwork(g)
         net.run(proto, max_rounds=1000)
         assert proto.matching.size == start.size
@@ -102,7 +102,7 @@ class TestProtocol:
         g = from_edges(24, edges)
         start = greedy_maximal_matching(g, rng=rng)
         k = 3
-        proto = AugmentingPathEliminationProtocol(k, _mate_dict(start), rng=4)
+        proto = AugmentingPathEliminationProtocol(k, _mate_dict(start), seed=4)
         net = SyncNetwork(g)
         net.run(proto, max_rounds=100_000)
         opt = mcm_exact(g).size

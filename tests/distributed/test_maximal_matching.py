@@ -13,9 +13,9 @@ from repro.matching.blossom import mcm_exact
 class TestRandomizedMatching:
     @pytest.mark.parametrize("seed", range(5))
     def test_maximal_and_valid(self, seed):
-        g = erdos_renyi(40, 0.2, rng=seed)
+        g = erdos_renyi(40, 0.2, seed=seed)
         net = SyncNetwork(g)
-        proto = RandomizedMatchingProtocol(rng=seed)
+        proto = RandomizedMatchingProtocol(seed=seed)
         net.run(proto, max_rounds=500)
         m = proto.matching
         assert m.is_valid_for(g)
@@ -24,14 +24,14 @@ class TestRandomizedMatching:
     def test_two_approximation(self):
         g = clique_union(3, 12)
         net = SyncNetwork(g)
-        proto = RandomizedMatchingProtocol(rng=0)
+        proto = RandomizedMatchingProtocol(seed=0)
         net.run(proto, max_rounds=500)
         assert 2 * proto.matching.size >= mcm_exact(g).size
 
     def test_empty_graph_immediate(self):
         g = from_edges(5, [])
         net = SyncNetwork(g)
-        proto = RandomizedMatchingProtocol(rng=1)
+        proto = RandomizedMatchingProtocol(seed=1)
         rounds = net.run(proto, max_rounds=5)
         assert rounds == 0
         assert proto.matching.size == 0
@@ -39,7 +39,7 @@ class TestRandomizedMatching:
     def test_single_edge(self):
         g = from_edges(2, [(0, 1)])
         net = SyncNetwork(g)
-        proto = RandomizedMatchingProtocol(rng=2)
+        proto = RandomizedMatchingProtocol(seed=2)
         net.run(proto, max_rounds=200)
         assert proto.matching.size == 1
 
@@ -49,7 +49,7 @@ class TestRandomizedMatching:
         for k in (2, 8):
             g = clique_union(k, 10)
             net = SyncNetwork(g)
-            proto = RandomizedMatchingProtocol(rng=3)
+            proto = RandomizedMatchingProtocol(seed=3)
             net.run(proto, max_rounds=1000)
             counts.append(proto.phase_count)
         # 4x more vertices should cost far fewer than 4x more phases.

@@ -15,19 +15,19 @@ class TestApproxPipeline:
     def test_validity_and_quality(self):
         g = clique_union(3, 16)
         opt = mcm_exact(g).size
-        rep = distributed_approx_matching(g, beta=1, epsilon=0.34, rng=0)
+        rep = distributed_approx_matching(g, beta=1, epsilon=0.34, seed=0)
         assert rep.matching.is_valid_for(g)
         assert opt <= (1 + 0.34) * rep.matching.size
 
     def test_line_graph_quality(self):
-        g = random_line_graph(14, 0.5, rng=1)
+        g = random_line_graph(14, 0.5, seed=1)
         opt = mcm_exact(g).size
-        rep = distributed_approx_matching(g, beta=2, epsilon=0.5, rng=2)
+        rep = distributed_approx_matching(g, beta=2, epsilon=0.5, seed=2)
         assert opt <= 1.5 * rep.matching.size
 
     def test_metrics_populated(self):
         g = clique_union(2, 12)
-        rep = distributed_approx_matching(g, beta=1, epsilon=0.5, rng=3)
+        rep = distributed_approx_matching(g, beta=1, epsilon=0.5, seed=3)
         assert rep.rounds > 0
         assert rep.messages > 0
         assert rep.bits >= rep.messages  # every message >= 1 bit
@@ -41,8 +41,8 @@ class TestApproxPipeline:
             b = 4 * i
             edges += [(b, b + 1), (b + 1, b + 2), (b + 2, b + 3)]
         g = from_edges(32, edges)
-        ours = distributed_approx_matching(g, beta=2, epsilon=0.34, rng=4)
-        base = distributed_baseline_matching(g, beta=2, epsilon=0.34, rng=4)
+        ours = distributed_approx_matching(g, beta=2, epsilon=0.34, seed=4)
+        base = distributed_baseline_matching(g, beta=2, epsilon=0.34, seed=4)
         assert ours.matching.size >= base.matching.size
         assert ours.matching.size == 16  # perfect after improvement
 
@@ -51,7 +51,7 @@ class TestBaselinePipeline:
     def test_maximality_on_sparsifier_quality(self):
         g = clique_union(3, 16)
         opt = mcm_exact(g).size
-        rep = distributed_baseline_matching(g, beta=1, epsilon=0.34, rng=5)
+        rep = distributed_baseline_matching(g, beta=1, epsilon=0.34, seed=5)
         assert rep.matching.is_valid_for(g)
         # Maximal matching on a (1+eps)-sparsifier: ratio <= 2(1+eps).
         assert opt <= 2 * (1 + 0.34) * rep.matching.size
@@ -61,8 +61,8 @@ class TestBaselinePipeline:
         """Denser graph, similar message budget (Theorem 3.3 shape)."""
         small = clique_union(3, 12)
         large = clique_union(3, 36)  # 9x the edges, 3x the vertices
-        rep_s = distributed_baseline_matching(small, 1, 0.34, rng=6)
-        rep_l = distributed_baseline_matching(large, 1, 0.34, rng=6)
+        rep_s = distributed_baseline_matching(small, 1, 0.34, seed=6)
+        rep_l = distributed_baseline_matching(large, 1, 0.34, seed=6)
         ratio_small = rep_s.messages / (2 * small.num_edges)
         ratio_large = rep_l.messages / (2 * large.num_edges)
         assert ratio_large < ratio_small

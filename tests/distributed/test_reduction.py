@@ -11,8 +11,8 @@ class TestReduction:
         g = clique_union(3, 20)
         proto, metrics, g_delta = reduce_with_sparsifier(
             g, beta=1, epsilon=0.34,
-            protocol_factory=lambda sub: RandomizedMatchingProtocol(rng=0),
-            rng=1,
+            protocol_factory=lambda sub: RandomizedMatchingProtocol(seed=0),
+            seed=1,
         )
         # The black box computed a maximal matching of the sparsifier...
         m = proto.matching
@@ -27,8 +27,8 @@ class TestReduction:
         g = clique_union(3, 24)
         proto, metrics, g_delta = reduce_with_sparsifier(
             g, beta=1, epsilon=0.34,
-            protocol_factory=lambda sub: RandomizedMatchingProtocol(rng=2),
-            rng=3,
+            protocol_factory=lambda sub: RandomizedMatchingProtocol(seed=2),
+            seed=3,
         )
         rounds = metrics.value("rounds")
         # Every per-round message count is bounded by 2*|E(G_delta)|.
@@ -39,8 +39,8 @@ class TestReduction:
         g = clique_union(2, 16)
         _, _, g_delta = reduce_with_sparsifier(
             g, beta=1, epsilon=0.5,
-            protocol_factory=lambda sub: RandomizedMatchingProtocol(rng=4),
-            rng=5,
+            protocol_factory=lambda sub: RandomizedMatchingProtocol(seed=4),
+            seed=5,
         )
         for u, v in g_delta.edges():
             assert g.has_edge(u, v)

@@ -14,7 +14,7 @@ class TestSolomonProtocol:
         assert net.run(SolomonProtocol(3), max_rounds=3) == 1
 
     def test_mutual_edges_only(self):
-        g = erdos_renyi(25, 0.4, rng=0)
+        g = erdos_renyi(25, 0.4, seed=0)
         net = SyncNetwork(g)
         proto = SolomonProtocol(4)
         net.run(proto, max_rounds=3)
@@ -25,7 +25,7 @@ class TestSolomonProtocol:
             assert v in u_marks and u in v_marks
 
     def test_degree_bound(self):
-        g = erdos_renyi(30, 0.6, rng=1)
+        g = erdos_renyi(30, 0.6, seed=1)
         net = SyncNetwork(g)
         proto = SolomonProtocol(3)
         net.run(proto, max_rounds=3)

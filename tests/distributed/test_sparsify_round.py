@@ -11,14 +11,14 @@ class TestSparsifierProtocol:
     def test_single_round(self):
         g = clique(20)
         net = SyncNetwork(g)
-        proto = SparsifierProtocol(delta=3, rng=0)
+        proto = SparsifierProtocol(delta=3, seed=0)
         rounds = net.run(proto, max_rounds=3)
         assert rounds == 1
 
     def test_edges_are_graph_edges(self):
         g = clique_union(2, 15)
         net = SyncNetwork(g)
-        proto = SparsifierProtocol(delta=4, rng=1)
+        proto = SparsifierProtocol(delta=4, seed=1)
         net.run(proto, max_rounds=3)
         for u, v in proto.edges:
             assert g.has_edge(u, v)
@@ -29,7 +29,7 @@ class TestSparsifierProtocol:
         g = clique(30)  # deg 29
         delta = 5
         net = SyncNetwork(g)
-        proto = SparsifierProtocol(delta=delta, rng=2)
+        proto = SparsifierProtocol(delta=delta, seed=2)
         net.run(proto, max_rounds=3)
         assert net.metrics.value("messages") == 30 * delta
         assert net.metrics.value("bits") == 30 * delta
@@ -37,14 +37,14 @@ class TestSparsifierProtocol:
     def test_low_degree_marks_all(self):
         g = clique(4)  # deg 3 < delta
         net = SyncNetwork(g)
-        proto = SparsifierProtocol(delta=10, rng=3)
+        proto = SparsifierProtocol(delta=10, seed=3)
         net.run(proto, max_rounds=3)
         assert proto.edges == set(g.edges())
 
     def test_both_endpoints_know(self):
         g = clique(12)
         net = SyncNetwork(g)
-        proto = SparsifierProtocol(delta=2, rng=4)
+        proto = SparsifierProtocol(delta=2, seed=4)
         net.run(proto, max_rounds=3)
         for u, v in proto.edges:
             assert v in proto.known_by[u] or u in proto.known_by[v]
@@ -58,7 +58,7 @@ class TestSparsifierProtocol:
 
         g = clique_union(3, 20)
         net = SyncNetwork(g)
-        proto = SparsifierProtocol(delta=8, rng=5)
+        proto = SparsifierProtocol(delta=8, seed=5)
         net.run(proto, max_rounds=3)
         sp = from_edges(g.num_vertices, sorted(proto.edges))
         assert mcm_exact(g).size <= 1.5 * mcm_exact(sp).size
@@ -76,7 +76,7 @@ class TestBroadcastVariant:
 
         g = clique(20)
         net = SyncNetwork(g)
-        proto = BroadcastSparsifierProtocol(delta=3, rng=0)
+        proto = BroadcastSparsifierProtocol(delta=3, seed=0)
         assert net.run(proto, max_rounds=3) == 1
         for u, v in proto.edges:
             assert g.has_edge(u, v)
@@ -88,9 +88,9 @@ class TestBroadcastVariant:
 
         g = clique(16)  # 2m = 240 directed edges
         net_b = SyncNetwork(g)
-        net_b.run(BroadcastSparsifierProtocol(delta=2, rng=1), max_rounds=3)
+        net_b.run(BroadcastSparsifierProtocol(delta=2, seed=1), max_rounds=3)
         net_u = SyncNetwork(g)
-        net_u.run(SparsifierProtocol(delta=2, rng=1), max_rounds=3)
+        net_u.run(SparsifierProtocol(delta=2, seed=1), max_rounds=3)
         # Broadcast: one message per directed edge, multi-bit payloads.
         assert net_b.metrics.value("messages") == 2 * g.num_edges
         assert net_b.metrics.value("bits") > net_u.metrics.value("bits")
@@ -103,7 +103,7 @@ class TestBroadcastVariant:
 
         g = clique(10)
         net = SyncNetwork(g)
-        proto = BroadcastSparsifierProtocol(delta=9, rng=2)
+        proto = BroadcastSparsifierProtocol(delta=9, seed=2)
         net.run(proto, max_rounds=3)
         assert proto.edges == set(g.edges())  # delta >= deg: everything
 

@@ -18,7 +18,7 @@ UNIVERSE = [(0, 1), (1, 2), (2, 3), (0, 3)]
 class TestOblivious:
     def test_stream_is_consistent(self):
         """Never deletes an absent edge nor inserts a present one."""
-        adv = ObliviousAdversary(UNIVERSE, 0.5, rng=0)
+        adv = ObliviousAdversary(UNIVERSE, 0.5, seed=0)
         present = set()
         for upd in adv.stream(200):
             e = (upd.u, upd.v)
@@ -31,12 +31,12 @@ class TestOblivious:
                 present.remove(e)
 
     def test_respects_universe(self):
-        adv = ObliviousAdversary(UNIVERSE, 0.3, rng=1)
+        adv = ObliviousAdversary(UNIVERSE, 0.3, seed=1)
         for upd in adv.stream(100):
             assert (upd.u, upd.v) in UNIVERSE
 
     def test_preload(self):
-        adv = ObliviousAdversary(UNIVERSE, 1.0, rng=2)
+        adv = ObliviousAdversary(UNIVERSE, 1.0, seed=2)
         adv.preload(UNIVERSE)
         upd = adv.next_update()
         assert upd.op == "delete"
@@ -50,7 +50,7 @@ class TestOblivious:
             ObliviousAdversary(UNIVERSE, 1.5)
 
     def test_saturated_universe_deletes(self):
-        adv = ObliviousAdversary([(0, 1)], 0.0, rng=3)
+        adv = ObliviousAdversary([(0, 1)], 0.0, seed=3)
         first = adv.next_update()
         assert first.op == "insert"
         second = adv.next_update()
@@ -61,7 +61,7 @@ class TestAdaptive:
     def test_attacks_matched_edges(self):
         matching = Matching.from_edges(4, [(0, 1)])
         adv = AdaptiveAdversary(UNIVERSE, observe=lambda: matching,
-                                attack_probability=1.0, rng=4)
+                                attack_probability=1.0, seed=4)
         adv.preload(UNIVERSE)
         upd = adv.next_update()
         assert upd == Update("delete", 0, 1)
@@ -69,7 +69,7 @@ class TestAdaptive:
 
     def test_falls_back_when_no_matched_edges(self):
         adv = AdaptiveAdversary(UNIVERSE, observe=lambda: Matching.empty(4),
-                                attack_probability=1.0, rng=5)
+                                attack_probability=1.0, seed=5)
         upd = adv.next_update()
         assert upd is not None
         assert upd.op == "insert"
@@ -79,7 +79,7 @@ class TestAdaptive:
         matching_holder = {"m": Matching.empty(4)}
         adv = AdaptiveAdversary(UNIVERSE,
                                 observe=lambda: matching_holder["m"],
-                                attack_probability=0.5, rng=6)
+                                attack_probability=0.5, seed=6)
         present = set()
         for _ in range(150):
             upd = adv.next_update()

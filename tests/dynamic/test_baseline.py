@@ -34,7 +34,7 @@ class TestBaseline:
     def test_stream_two_approximation(self):
         host = clique_union(3, 8)
         alg = DynamicMaximalMatching(host.num_vertices)
-        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=0)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, seed=0)
         for _ in range(500):
             upd = adv.next_update()
             if upd is None:

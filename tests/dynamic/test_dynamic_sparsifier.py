@@ -10,7 +10,7 @@ from repro.graphs.generators import clique_union
 
 class TestDynamicSparsifier:
     def test_marks_track_degree(self):
-        ds = DynamicSparsifier(6, delta=2, rng=0)
+        ds = DynamicSparsifier(6, delta=2, seed=0)
         ds.insert(0, 1)
         ds.insert(0, 2)
         ds.insert(0, 3)
@@ -19,8 +19,8 @@ class TestDynamicSparsifier:
 
     def test_edges_subset_of_graph(self):
         host = clique_union(2, 8)
-        ds = DynamicSparsifier(host.num_vertices, delta=3, rng=1)
-        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=2)
+        ds = DynamicSparsifier(host.num_vertices, delta=3, seed=1)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, seed=2)
         for _ in range(300):
             upd = adv.next_update()
             if upd is None:
@@ -33,8 +33,8 @@ class TestDynamicSparsifier:
     def test_refcount_consistency(self):
         """E(G_Δ) always equals the union of per-vertex marks."""
         host = clique_union(2, 6)
-        ds = DynamicSparsifier(host.num_vertices, delta=2, rng=3)
-        adv = ObliviousAdversary(list(host.edges()), 0.4, rng=4)
+        ds = DynamicSparsifier(host.num_vertices, delta=2, seed=3)
+        adv = ObliviousAdversary(list(host.edges()), 0.4, seed=4)
         for _ in range(200):
             upd = adv.next_update()
             if upd is None:
@@ -49,8 +49,8 @@ class TestDynamicSparsifier:
     def test_work_bounded_by_4delta_ish(self):
         host = clique_union(2, 20)
         delta = 5
-        ds = DynamicSparsifier(host.num_vertices, delta=delta, rng=5)
-        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=6)
+        ds = DynamicSparsifier(host.num_vertices, delta=delta, seed=5)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, seed=6)
         for _ in range(400):
             upd = adv.next_update()
             if upd is None:
@@ -62,7 +62,7 @@ class TestDynamicSparsifier:
         """After an update touching v, marks(v) = min(delta, deg(v))
         distinct current neighbors."""
         host = clique_union(1, 10)
-        ds = DynamicSparsifier(10, delta=3, rng=7)
+        ds = DynamicSparsifier(10, delta=3, seed=7)
         for u, v in host.edges():
             ds.insert(u, v)
             for w in (u, v):
@@ -71,7 +71,7 @@ class TestDynamicSparsifier:
                 assert all(ds.graph.has_edge(w, x) for x in marks)
 
     def test_sparsifier_materialization(self):
-        ds = DynamicSparsifier(4, delta=1, rng=8)
+        ds = DynamicSparsifier(4, delta=1, seed=8)
         ds.insert(0, 1)
         ds.insert(2, 3)
         sp = ds.sparsifier()

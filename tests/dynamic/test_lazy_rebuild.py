@@ -16,8 +16,8 @@ def host():
 
 class TestInvariantsUnderUpdates:
     def test_matching_always_valid(self, host):
-        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, rng=0)
-        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=1)
+        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, seed=0)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, seed=1)
         for step in range(300):
             upd = adv.next_update()
             if upd is None:
@@ -28,8 +28,8 @@ class TestInvariantsUnderUpdates:
         assert alg.matching.is_valid_for(alg.graph.snapshot())
 
     def test_work_logged_every_update(self, host):
-        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, rng=2)
-        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=3)
+        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, seed=2)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, seed=3)
         steps = 0
         for _ in range(100):
             upd = adv.next_update()
@@ -41,8 +41,8 @@ class TestInvariantsUnderUpdates:
         assert alg.max_work_per_update() >= 1
 
     def test_quality_after_stream(self, host):
-        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, rng=4)
-        adv = ObliviousAdversary(list(host.edges()), 0.25, rng=5)
+        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, seed=4)
+        adv = ObliviousAdversary(list(host.edges()), 0.25, seed=5)
         for _ in range(600):
             upd = adv.next_update()
             if upd is None:
@@ -51,8 +51,8 @@ class TestInvariantsUnderUpdates:
         assert alg.current_ratio() <= 1.4 + 0.15  # eps + small slack
 
     def test_rebuilds_happen(self, host):
-        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, rng=6)
-        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=7)
+        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, seed=6)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, seed=7)
         for _ in range(200):
             upd = adv.next_update()
             if upd is None:
@@ -61,10 +61,10 @@ class TestInvariantsUnderUpdates:
         assert alg.rebuilds_completed > 0
 
     def test_adaptive_adversary_quality(self, host):
-        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, rng=8)
+        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, seed=8)
         adv = AdaptiveAdversary(list(host.edges()),
                                 observe=lambda: alg.matching,
-                                attack_probability=0.5, rng=9)
+                                attack_probability=0.5, seed=9)
         for _ in range(600):
             upd = adv.next_update()
             if upd is None:
@@ -75,7 +75,7 @@ class TestInvariantsUnderUpdates:
         assert alg.current_ratio() <= 1.4 + 0.25
 
     def test_deleting_matched_edge_prunes_output(self, host):
-        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, rng=10)
+        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, seed=10)
         for u, v in host.edges():
             alg.insert(u, v)
         matched = next(iter(alg.matching.edges()), None)
@@ -90,9 +90,9 @@ class TestInvariantsUnderUpdates:
 class TestHardWorkCap:
     def test_cap_enforced(self, host):
         cap = 3
-        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, rng=20,
+        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, seed=20,
                                   max_chunks_per_update=cap)
-        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=21)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, seed=21)
         for _ in range(300):
             upd = adv.next_update()
             if upd is None:
@@ -102,9 +102,9 @@ class TestHardWorkCap:
         assert alg.matching.is_valid_for(alg.graph.snapshot())
 
     def test_quality_degrades_gracefully_under_cap(self, host):
-        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, rng=22,
+        alg = LazyRebuildMatching(host.num_vertices, 1, 0.4, seed=22,
                                   max_chunks_per_update=2)
-        adv = ObliviousAdversary(list(host.edges()), 0.25, rng=23)
+        adv = ObliviousAdversary(list(host.edges()), 0.25, seed=23)
         for _ in range(600):
             upd = adv.next_update()
             if upd is None:
@@ -128,18 +128,18 @@ class TestConfiguration:
             LazyRebuildMatching(10, 1, 1.0)
 
     def test_insert_delete_shorthand(self):
-        alg = LazyRebuildMatching(4, 1, 0.5, rng=11)
+        alg = LazyRebuildMatching(4, 1, 0.5, seed=11)
         alg.insert(0, 1)
         assert alg.graph.has_edge(0, 1)
         alg.delete(0, 1)
         assert not alg.graph.has_edge(0, 1)
 
     def test_empty_start_ratio(self):
-        alg = LazyRebuildMatching(4, 1, 0.5, rng=12)
+        alg = LazyRebuildMatching(4, 1, 0.5, seed=12)
         assert alg.current_ratio() == 1.0
 
     def test_current_ratio_oracle(self):
-        alg = LazyRebuildMatching(4, 1, 0.5, rng=13)
+        alg = LazyRebuildMatching(4, 1, 0.5, seed=13)
         alg.insert(0, 1)
         # Force rebuild progress until the single edge is matched.
         for _ in range(20):

@@ -19,8 +19,8 @@ class TestObliviousDynamicMatching:
             ObliviousDynamicMatching(4, 1, 1.5)
 
     def test_matching_valid_under_stream(self, host):
-        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, rng=0)
-        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=1)
+        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, seed=0)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, seed=1)
         for step in range(400):
             upd = adv.next_update()
             if upd is None:
@@ -31,8 +31,8 @@ class TestObliviousDynamicMatching:
         assert alg.matching.is_valid_for(alg.graph.snapshot())
 
     def test_quality_against_oblivious_stream(self, host):
-        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, rng=2)
-        adv = ObliviousAdversary(list(host.edges()), 0.25, rng=3)
+        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, seed=2)
+        adv = ObliviousAdversary(list(host.edges()), 0.25, seed=3)
         adv.preload(list(host.edges()))
         for u, v in host.edges():
             alg.insert(u, v)
@@ -47,8 +47,8 @@ class TestObliviousDynamicMatching:
         assert alg.rebuilds_completed > 0
 
     def test_work_bounded(self, host):
-        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, rng=4)
-        adv = ObliviousAdversary(list(host.edges()), 0.3, rng=5)
+        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, seed=4)
+        adv = ObliviousAdversary(list(host.edges()), 0.3, seed=5)
         for upd in adv.stream(300):
             alg.update(upd.op, upd.u, upd.v)
         assert len(alg.work_log) == 300
@@ -56,7 +56,7 @@ class TestObliviousDynamicMatching:
         assert alg.max_work_per_update() <= 4 * alg.delta + 4 + 64
 
     def test_delete_matched_edge_prunes(self, host):
-        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, rng=6)
+        alg = ObliviousDynamicMatching(host.num_vertices, 1, 0.4, seed=6)
         for u, v in host.edges():
             alg.insert(u, v)
         matched = next(iter(alg.matching.edges()), None)

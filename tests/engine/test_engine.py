@@ -1,0 +1,142 @@
+"""Tests for the parallel experiment engine.
+
+The engine's contract is that ``workers=1`` and ``workers=N`` are
+indistinguishable except for wall-clock time: same results, same order,
+same counter totals.  These tests pin that contract with real process
+pools (small task counts keep them fast even on one core).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    TrialTask,
+    execute,
+    fanout,
+    resolve_workers,
+)
+from repro.experiments import e1_quality
+from repro.experiments.stats import replicate_quality
+from repro.graphs.generators import clique
+from repro.instrument.counters import CounterSet
+from repro.instrument.rng import spawn_rngs
+
+pytestmark = pytest.mark.fast
+
+
+# Module-level trial functions: the engine's pickling contract requires
+# importable callables.
+def _draw(lo: int, hi: int, *, rng: np.random.Generator) -> int:
+    return int(rng.integers(lo, hi))
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _context_size(*, context) -> int:
+    return context.num_vertices
+
+
+def _count_probes(amount: int, *, metrics: CounterSet) -> int:
+    metrics["probes"].add(amount)
+    return amount
+
+
+def _boom() -> None:
+    raise RuntimeError("trial failed")
+
+
+class TestResolveWorkers:
+    def test_auto_is_at_least_one(self):
+        assert resolve_workers("auto") >= 1
+
+    def test_int_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_workers(bad)
+
+    def test_garbage_string_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers("lots")
+
+
+class TestExecute:
+    def test_results_in_task_order(self):
+        tasks = [TrialTask(fn=_square, args=(i,)) for i in range(6)]
+        assert execute(tasks, workers=1) == [0, 1, 4, 9, 16, 25]
+        assert execute(tasks, workers=2) == [0, 1, 4, 9, 16, 25]
+
+    def test_rng_fanout_is_worker_count_independent(self):
+        def tasks():
+            root = np.random.default_rng(42)
+            return fanout(_draw, root, [{"lo": 0, "hi": 10**9}] * 8)
+
+        serial = execute(tasks(), workers=1)
+        parallel = execute(tasks(), workers=2)
+        assert serial == parallel
+        assert len(set(serial)) > 1  # children really are distinct streams
+
+    def test_context_broadcast(self):
+        g = clique(17)
+        tasks = [TrialTask(fn=_context_size, wants_context=True)] * 3
+        assert execute(tasks, workers=1, context=g) == [17, 17, 17]
+        assert execute(tasks, workers=2, context=g) == [17, 17, 17]
+
+    def test_metrics_merge_matches_serial(self):
+        def run(workers):
+            parent = CounterSet()
+            tasks = [
+                TrialTask(fn=_count_probes, args=(i + 1,), wants_metrics=True)
+                for i in range(5)
+            ]
+            execute(tasks, workers=workers, metrics=parent)
+            return parent.snapshot()
+
+        assert run(1) == run(2) == {"probes": 15}
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="trial failed"):
+            execute([TrialTask(fn=_boom), TrialTask(fn=_boom)], workers=2)
+
+    def test_empty_task_list(self):
+        assert execute([], workers=4) == []
+
+
+class TestFanout:
+    def test_spawn_order_matches_manual_spawns(self):
+        root_a = np.random.default_rng(7)
+        root_b = np.random.default_rng(7)
+        tasks = fanout(_draw, root_a, [{"lo": 0, "hi": 100}] * 4)
+        manual = spawn_rngs(root_b, 4)
+        for task, child in zip(tasks, manual):
+            assert int(task.rng.integers(1000)) == int(child.integers(1000))
+
+    def test_task_options_forwarded(self):
+        tasks = fanout(
+            _count_probes, np.random.default_rng(0), [{"amount": 1}],
+            wants_metrics=True,
+        )
+        assert tasks[0].wants_metrics
+
+
+class TestEndToEndDeterminism:
+    def test_e1_identical_across_worker_counts(self):
+        kwargs = dict(epsilons=(0.5,), trials=2, seed=1)
+        serial = e1_quality.run(**kwargs, workers=1)
+        parallel = e1_quality.run(**kwargs, workers=2)
+        assert serial.rows == parallel.rows
+        assert serial.headers == parallel.headers
+
+    def test_replicate_quality_identical_across_worker_counts(self):
+        g = clique(30)
+        serial = replicate_quality(g, delta=3, epsilon=0.5, trials=6,
+                                   seed=3, workers=1)
+        parallel = replicate_quality(g, delta=3, epsilon=0.5, trials=6,
+                                     seed=3, workers=2)
+        assert serial == parallel

@@ -38,7 +38,7 @@ class TestWilson:
 class TestReplicateQuality:
     def test_basic_replication(self):
         g = clique_union(3, 20)
-        rep = replicate_quality(g, delta=6, epsilon=0.3, trials=10, rng=0)
+        rep = replicate_quality(g, delta=6, epsilon=0.3, trials=10, seed=0)
         assert rep.trials == 10
         assert 0 <= rep.successes <= 10
         assert rep.worst_ratio >= 1.0
@@ -46,7 +46,7 @@ class TestReplicateQuality:
 
     def test_high_success_rate_at_sane_delta(self):
         g = clique_union(3, 20)
-        rep = replicate_quality(g, delta=8, epsilon=0.3, trials=15, rng=1)
+        rep = replicate_quality(g, delta=8, epsilon=0.3, trials=15, seed=1)
         assert rep.successes == 15
         assert rep.confidence_low > 0.7
 

@@ -97,7 +97,7 @@ class TestLineGraphs:
         assert lg.num_edges == 6  # K4
 
     def test_random_line_graph_beta(self):
-        g = random_line_graph(12, 0.5, rng=0)
+        g = random_line_graph(12, 0.5, seed=0)
         assert neighborhood_independence_exact(g, max_neighborhood=80) <= 2
 
     def test_bad_probability(self):
@@ -107,7 +107,7 @@ class TestLineGraphs:
 
 class TestGeometric:
     def test_unit_disk_edges_respect_radius(self):
-        g, pts = unit_disk_graph(50, 4.0, radius=1.0, rng=1)
+        g, pts = unit_disk_graph(50, 4.0, radius=1.0, seed=1)
         for u, v in g.edges():
             assert np.linalg.norm(pts[u] - pts[v]) <= 1.0 + 1e-9
         assert neighborhood_independence_exact(g, max_neighborhood=100) <= 5
@@ -119,7 +119,7 @@ class TestGeometric:
             unit_disk_graph(5, 0.0)
 
     def test_quasi_udg(self):
-        g, pts = quasi_unit_disk_graph(60, 4.0, 0.7, 1.0, rng=2)
+        g, pts = quasi_unit_disk_graph(60, 4.0, 0.7, 1.0, seed=2)
         for u, v in g.edges():
             assert np.linalg.norm(pts[u] - pts[v]) <= 1.0 + 1e-9
         with pytest.raises(ValueError):
@@ -128,7 +128,7 @@ class TestGeometric:
 
 class TestGrowth:
     def test_interval_graph_beta(self):
-        g = interval_graph(40, 1.0, 10.0, rng=3)
+        g = interval_graph(40, 1.0, 10.0, seed=3)
         assert neighborhood_independence_exact(g, max_neighborhood=80) <= 2
 
     def test_interval_validation(self):
@@ -145,7 +145,7 @@ class TestGrowth:
             grid_power_graph(0, 1)
 
     def test_bounded_diversity_beta(self):
-        g = bounded_diversity_graph(10, 6, 3, rng=4)
+        g = bounded_diversity_graph(10, 6, 3, seed=4)
         assert neighborhood_independence_exact(g, max_neighborhood=80) <= 3
         with pytest.raises(ValueError):
             bounded_diversity_graph(0, 6, 3)
@@ -153,18 +153,18 @@ class TestGrowth:
 
 class TestRandomFamilies:
     def test_erdos_renyi_bounds(self):
-        g = erdos_renyi(20, 0.5, rng=5)
+        g = erdos_renyi(20, 0.5, seed=5)
         assert g.num_vertices == 20
         assert 0 < g.num_edges < 190
-        assert erdos_renyi(10, 0.0, rng=5).num_edges == 0
-        assert erdos_renyi(10, 1.0, rng=5).num_edges == 45
+        assert erdos_renyi(10, 0.0, seed=5).num_edges == 0
+        assert erdos_renyi(10, 1.0, seed=5).num_edges == 45
         with pytest.raises(ValueError):
             erdos_renyi(5, 1.5)
 
     def test_random_bipartite_is_bipartite(self):
         from repro.matching.hopcroft_karp import bipartition
 
-        g = random_bipartite(8, 9, 0.4, rng=6)
+        g = random_bipartite(8, 9, 0.4, seed=6)
         left, right = bipartition(g)
         assert len(left) + len(right) == 17
         with pytest.raises(ValueError):
@@ -173,21 +173,21 @@ class TestRandomFamilies:
     def test_claw_free_complement_beta(self):
         from repro.graphs.generators import claw_free_complement
 
-        g = claw_free_complement(30, rng=8)
+        g = claw_free_complement(30, seed=8)
         assert g.num_edges > 2 * ((15 * 14) // 2)  # both halves are cliques
         assert neighborhood_independence_exact(g, max_neighborhood=40) <= 2
 
     def test_claw_free_complement_edge_cases(self):
         from repro.graphs.generators import claw_free_complement
 
-        assert claw_free_complement(0, rng=9).num_vertices == 0
-        assert claw_free_complement(1, rng=9).num_edges == 0
+        assert claw_free_complement(0, seed=9).num_vertices == 0
+        assert claw_free_complement(1, seed=9).num_edges == 0
         with pytest.raises(ValueError):
             claw_free_complement(-1)
 
     @pytest.mark.parametrize("beta", [1, 2, 3, 4])
     def test_beta_controlled_exact(self, beta):
-        g = beta_controlled_graph(6, 8, beta, rng=7)
+        g = beta_controlled_graph(6, 8, beta, seed=7)
         assert neighborhood_independence_exact(g, max_neighborhood=80) == beta
 
     def test_beta_controlled_validation(self):

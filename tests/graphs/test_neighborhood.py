@@ -100,7 +100,7 @@ class TestSampledEstimate:
         from repro.graphs.neighborhood import neighborhood_independence_sampled
 
         g = clique_union(3, 8)
-        est = neighborhood_independence_sampled(g, rng=0)
+        est = neighborhood_independence_sampled(g, seed=0)
         assert est <= neighborhood_independence_exact(g) == 1
         assert est >= 1
 
@@ -109,17 +109,17 @@ class TestSampledEstimate:
 
         star = from_edges(9, [(0, i) for i in range(1, 9)])
         # Degree bias makes the center near-certain to be sampled.
-        assert neighborhood_independence_sampled(star, rng=1) == 8
+        assert neighborhood_independence_sampled(star, seed=1) == 8
 
     def test_empty_graphs(self):
         from repro.graphs.neighborhood import neighborhood_independence_sampled
 
-        assert neighborhood_independence_sampled(from_edges(0, []), rng=2) == 0
-        assert neighborhood_independence_sampled(from_edges(4, []), rng=3) == 0
+        assert neighborhood_independence_sampled(from_edges(0, []), seed=2) == 0
+        assert neighborhood_independence_sampled(from_edges(4, []), seed=3) == 0
 
     def test_guard(self):
         from repro.graphs.neighborhood import neighborhood_independence_sampled
 
         star = from_edges(12, [(0, i) for i in range(1, 12)])
         with pytest.raises(ValueError, match="max_neighborhood"):
-            neighborhood_independence_sampled(star, rng=4, max_neighborhood=5)
+            neighborhood_independence_sampled(star, seed=4, max_neighborhood=5)

@@ -25,7 +25,7 @@ class TestSweepsForEpsilon:
 
 class TestMcmApprox:
     def test_exhaustion_is_exact(self):
-        g = erdos_renyi(20, 0.3, rng=0)
+        g = erdos_renyi(20, 0.3, seed=0)
         assert mcm_approx(g).size == mcm_exact(g).size
 
     def test_both_args_rejected(self, triangle):
@@ -43,7 +43,7 @@ class TestMcmApprox:
     def test_epsilon_beats_two_approx(self):
         g = clique_union(3, 10)
         opt = mcm_exact(g).size
-        m = mcm_approx(g, epsilon=0.2, rng=1)
+        m = mcm_approx(g, epsilon=0.2, seed=1)
         assert opt <= (1 + 0.2) * m.size
 
     def test_valid_and_maximal(self, petersen):

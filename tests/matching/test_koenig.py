@@ -40,7 +40,7 @@ class TestMinimumVertexCover:
 
 class TestCertificate:
     def test_accepts_hk(self):
-        g = random_bipartite(8, 9, 0.4, rng=0)
+        g = random_bipartite(8, 9, 0.4, seed=0)
         assert koenig_certificate(g, hopcroft_karp(g))
 
     def test_rejects_submaximum(self):

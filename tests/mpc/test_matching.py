@@ -23,7 +23,7 @@ class TestMPCMatching:
         g = clique_union(3, 20)
         opt = mcm_exact(g).size
         res = mpc_approx_matching(g, beta=1, epsilon=0.3, num_machines=4,
-                                  rng=0)
+                                  seed=0)
         assert res.rounds == 3
         assert res.matching.is_valid_for(g)
         assert opt <= 1.3 * res.matching.size
@@ -31,38 +31,38 @@ class TestMPCMatching:
     def test_memory_enforced(self):
         g = clique_union(3, 20)
         res = mpc_approx_matching(g, beta=1, epsilon=0.3, num_machines=4,
-                                  rng=1)
+                                  seed=1)
         assert res.max_load <= res.memory_per_machine
 
     def test_too_small_budget_raises(self):
         g = clique_union(3, 20)
         with pytest.raises(MachineOverflowError):
             mpc_approx_matching(g, beta=1, epsilon=0.3, num_machines=2,
-                                memory_per_machine=50, rng=2)
+                                memory_per_machine=50, seed=2)
 
     def test_line_graph_workload(self):
-        g = random_line_graph(14, 0.5, rng=3)
+        g = random_line_graph(14, 0.5, seed=3)
         opt = mcm_exact(g).size
         res = mpc_approx_matching(g, beta=2, epsilon=0.5, num_machines=4,
-                                  rng=4)
+                                  seed=4)
         assert opt <= 1.5 * res.matching.size
 
     def test_single_machine_degenerate(self):
         g = clique_union(1, 8)
         res = mpc_approx_matching(g, beta=1, epsilon=0.5, num_machines=1,
-                                  rng=5)
+                                  seed=5)
         assert res.matching.size == 4
 
     def test_reproducible(self):
         g = clique_union(2, 12)
-        a = mpc_approx_matching(g, 1, 0.3, 4, rng=6)
-        b = mpc_approx_matching(g, 1, 0.3, 4, rng=6)
+        a = mpc_approx_matching(g, 1, 0.3, 4, seed=6)
+        b = mpc_approx_matching(g, 1, 0.3, 4, seed=6)
         assert a.matching == b.matching
 
     def test_coordinator_load_below_raw_gather(self):
         """The memory story: G_Δ fits where the raw graph would not."""
         g = clique_union(4, 60)
         res = mpc_approx_matching(g, beta=1, epsilon=0.3, num_machines=8,
-                                  rng=7, policy=DeltaPolicy(constant=0.6))
+                                  seed=7, policy=DeltaPolicy(constant=0.6))
         raw_gather_words = 3 * 2 * g.num_edges
         assert res.max_load < raw_gather_words

@@ -15,33 +15,33 @@ from repro.sequential.assadi_solomon import (
 class TestAS19:
     def test_valid_matching(self):
         g = clique_union(3, 16)
-        res = as19_maximal_matching(g, beta=1, rng=0)
+        res = as19_maximal_matching(g, beta=1, seed=0)
         assert res.matching.is_valid_for(g)
 
     def test_maximal_whp_on_families(self):
         """The whp-maximality claim, measured: no violating edges."""
         for seed in range(5):
             g = clique_union(3, 16)
-            res = as19_maximal_matching(g, beta=1, rng=seed)
+            res = as19_maximal_matching(g, beta=1, seed=seed)
             assert count_violating_edges(g, res.matching) == 0
 
     def test_two_approximation_when_maximal(self):
-        g = random_line_graph(14, 0.5, rng=1)
-        res = as19_maximal_matching(g, beta=2, rng=2)
+        g = random_line_graph(14, 0.5, seed=1)
+        res = as19_maximal_matching(g, beta=2, seed=2)
         if count_violating_edges(g, res.matching) == 0:
             assert 2 * res.matching.size >= mcm_exact(g).size
 
     def test_probe_budget_shape(self):
         """Budget is c*beta*ln(n+1), and probes stay within n*(budget+1)."""
         g = clique_union(4, 30)
-        res = as19_maximal_matching(g, beta=1, rng=3)
+        res = as19_maximal_matching(g, beta=1, seed=3)
         assert res.probe_budget_per_vertex >= 1
         assert res.probes <= g.num_vertices * (res.probe_budget_per_vertex + 1)
 
     def test_empty_and_tiny(self):
-        assert as19_maximal_matching(from_edges(3, []), beta=1, rng=4
+        assert as19_maximal_matching(from_edges(3, []), beta=1, seed=4
                                      ).matching.size == 0
-        res = as19_maximal_matching(from_edges(2, [(0, 1)]), beta=1, rng=5)
+        res = as19_maximal_matching(from_edges(2, [(0, 1)]), beta=1, seed=5)
         assert res.matching.size == 1
 
     def test_invalid_beta(self):

@@ -15,26 +15,26 @@ class TestEndToEnd:
     def test_quality_clique_union(self, eps):
         g = clique_union(3, 24)
         opt = mcm_exact(g).size
-        result = approximate_matching(g, beta=1, epsilon=eps, rng=0)
+        result = approximate_matching(g, beta=1, epsilon=eps, seed=0)
         assert result.matching.is_valid_for(g)
         assert opt <= (1 + eps) * result.matching.size
 
     def test_quality_line_graph(self):
-        g = random_line_graph(16, 0.5, rng=1)
+        g = random_line_graph(16, 0.5, seed=1)
         opt = mcm_exact(g).size
-        result = approximate_matching(g, beta=2, epsilon=0.3, rng=2)
+        result = approximate_matching(g, beta=2, epsilon=0.3, seed=2)
         assert opt <= 1.3 * result.matching.size
 
     def test_quality_unit_disk(self):
-        g, _ = unit_disk_graph(120, 4.0, rng=3)
+        g, _ = unit_disk_graph(120, 4.0, seed=3)
         opt = mcm_exact(g).size
-        result = approximate_matching(g, beta=5, epsilon=0.5, rng=4)
+        result = approximate_matching(g, beta=5, epsilon=0.5, seed=4)
         assert opt <= 1.5 * result.matching.size
 
     def test_phases_matcher(self):
         g = clique_union(3, 24)
         opt = mcm_exact(g).size
-        result = approximate_matching(g, beta=1, epsilon=0.3, rng=5,
+        result = approximate_matching(g, beta=1, epsilon=0.3, seed=5,
                                       matcher="phases")
         assert result.matching.is_valid_for(g)
         assert opt <= 1.3 * result.matching.size
@@ -46,7 +46,7 @@ class TestEndToEnd:
 
     def test_empty_graph(self):
         g = from_edges(5, [])
-        result = approximate_matching(g, beta=1, epsilon=0.5, rng=6)
+        result = approximate_matching(g, beta=1, epsilon=0.5, seed=6)
         assert result.matching.size == 0
 
 
@@ -55,7 +55,7 @@ class TestProbeAccounting:
         """pos_array sampler: probes = n * (1 + min(delta, deg))."""
         g = clique_union(2, 30)  # all degrees 29
         policy = DeltaPolicy(constant=0.5)
-        result = approximate_matching(g, 1, 0.5, rng=7, policy=policy)
+        result = approximate_matching(g, 1, 0.5, seed=7, policy=policy)
         expected = g.num_vertices * (1 + min(result.delta, 29))
         assert result.probes == expected
 
@@ -63,25 +63,25 @@ class TestProbeAccounting:
         """probes << 2m once cliques are much bigger than delta."""
         g = clique_union(2, 120)
         policy = DeltaPolicy(constant=0.5)
-        result = approximate_matching(g, 1, 0.5, rng=8, policy=policy)
+        result = approximate_matching(g, 1, 0.5, seed=8, policy=policy)
         cert = sublinearity_certificate(g, result)
         assert cert["probe_fraction"] < 0.25
 
     def test_certificate_fields(self):
         g = clique_union(1, 10)
-        result = approximate_matching(g, 1, 0.5, rng=9)
+        result = approximate_matching(g, 1, 0.5, seed=9)
         cert = sublinearity_certificate(g, result)
         assert set(cert) == {"probes", "input_size", "probe_fraction", "delta"}
         assert cert["input_size"] == 2.0 * g.num_edges
 
     def test_certificate_empty_graph(self):
         g = from_edges(3, [])
-        result = approximate_matching(g, 1, 0.5, rng=10)
+        result = approximate_matching(g, 1, 0.5, seed=10)
         assert sublinearity_certificate(g, result)["probe_fraction"] == 0.0
 
     def test_sparsifier_edges_reported(self):
         g = clique_union(2, 20)
-        result = approximate_matching(g, 1, 0.4, rng=11)
+        result = approximate_matching(g, 1, 0.4, seed=11)
         assert 0 < result.sparsifier_edges <= g.num_edges
 
 
@@ -90,5 +90,5 @@ class TestSharperBound:
         """Obs 2.10 bound on the pipeline's sparsifier size."""
         g = clique_union(3, 30)
         opt = mcm_exact(g).size
-        result = approximate_matching(g, 1, 0.3, rng=12)
+        result = approximate_matching(g, 1, 0.3, seed=12)
         assert result.sparsifier_edges <= 2 * opt * (result.delta + 1)

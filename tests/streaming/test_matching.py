@@ -16,7 +16,7 @@ from repro.streaming.stream import EdgeStream
 class TestGreedyStreaming:
     def test_maximal_and_two_approx(self):
         g = clique_union(3, 10)
-        res = streaming_greedy_matching(EdgeStream.from_graph(g, rng=0))
+        res = streaming_greedy_matching(EdgeStream.from_graph(g, seed=0))
         assert res.matching.is_valid_for(g)
         assert res.matching.is_maximal_for(g)
         assert 2 * res.matching.size >= mcm_exact(g).size
@@ -34,7 +34,7 @@ class TestSparsifierStreaming:
         g = clique_union(3, 20)
         opt = mcm_exact(g).size
         res = streaming_approx_matching(
-            EdgeStream.from_graph(g, rng=1), beta=1, epsilon=0.3, rng=2
+            EdgeStream.from_graph(g, seed=1), beta=1, epsilon=0.3, seed=2
         )
         assert res.passes == 1
         assert res.matching.is_valid_for(g)
@@ -44,7 +44,7 @@ class TestSparsifierStreaming:
         g = trap_graph(2, 12, num_paths=30)
         opt = mcm_exact(g).size
         ours = streaming_approx_matching(
-            EdgeStream.from_graph(g, rng=3), beta=2, epsilon=0.3, rng=4
+            EdgeStream.from_graph(g, seed=3), beta=2, epsilon=0.3, seed=4
         )
         # Ours recovers the P4 traps exactly (low-degree edges all kept).
         assert ours.matching.size == opt
@@ -54,13 +54,13 @@ class TestSparsifierStreaming:
         from repro.core.delta import DeltaPolicy
 
         res = streaming_approx_matching(
-            EdgeStream.from_graph(g, rng=5), beta=1, epsilon=0.3, rng=6,
+            EdgeStream.from_graph(g, seed=5), beta=1, epsilon=0.3, seed=6,
             policy=DeltaPolicy(constant=0.5),
         )
         assert res.memory < g.num_edges
 
     def test_empty_stream(self):
         res = streaming_approx_matching(
-            EdgeStream(5, []), beta=1, epsilon=0.5, rng=7
+            EdgeStream(5, []), beta=1, epsilon=0.5, seed=7
         )
         assert res.matching.size == 0

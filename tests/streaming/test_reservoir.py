@@ -47,27 +47,27 @@ class TestVertexReservoir:
 class TestStreamingSparsifier:
     def test_subgraph_of_stream(self):
         g = clique_union(2, 10)
-        stream = EdgeStream.from_graph(g, rng=0)
-        sp, memory = streaming_sparsifier(stream, delta=3, rng=1)
+        stream = EdgeStream.from_graph(g, seed=0)
+        sp, memory = streaming_sparsifier(stream, delta=3, seed=1)
         for u, v in sp.edges():
             assert g.has_edge(u, v)
 
     def test_single_pass(self):
         g = clique(15)
         stream = EdgeStream.from_graph(g)
-        streaming_sparsifier(stream, delta=3, rng=2)
+        streaming_sparsifier(stream, delta=3, seed=2)
         assert stream.passes == 1
 
     def test_memory_bound(self):
         g = clique(30)  # deg 29
         stream = EdgeStream.from_graph(g)
-        _, memory = streaming_sparsifier(stream, delta=4, rng=3)
+        _, memory = streaming_sparsifier(stream, delta=4, seed=3)
         assert memory == 30 * 4  # every vertex saturates its reservoir
 
     def test_low_degree_keeps_everything(self):
         g = clique(4)
         stream = EdgeStream.from_graph(g)
-        sp, memory = streaming_sparsifier(stream, delta=10, rng=4)
+        sp, memory = streaming_sparsifier(stream, delta=10, seed=4)
         assert sp.num_edges == g.num_edges
         assert memory == sum(g.degrees())
 
@@ -77,6 +77,6 @@ class TestStreamingSparsifier:
         """Same marking law as the offline G_Δ: per-vertex sample sizes
         equal min(delta, deg) regardless of arrival order."""
         g = clique_union(2, 8)
-        stream = EdgeStream.from_graph(g, rng=seed)
-        sp, memory = streaming_sparsifier(stream, delta=3, rng=seed)
+        stream = EdgeStream.from_graph(g, seed=seed)
+        sp, memory = streaming_sparsifier(stream, delta=3, seed=seed)
         assert memory == sum(min(3, int(d)) for d in g.degrees())

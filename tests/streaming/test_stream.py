@@ -26,10 +26,10 @@ class TestEdgeStream:
     def test_shuffled_order_is_permutation(self):
         edges = [(i, i + 1) for i in range(20)]
         plain = EdgeStream(21, edges)
-        shuffled = EdgeStream(21, edges, rng=0)
+        shuffled = EdgeStream(21, edges, seed=0)
         assert sorted(shuffled) == sorted(plain)
-        assert list(EdgeStream(21, edges, rng=0)) == list(
-            EdgeStream(21, edges, rng=0)
+        assert list(EdgeStream(21, edges, seed=0)) == list(
+            EdgeStream(21, edges, seed=0)
         )  # seed-reproducible
 
     def test_from_graph(self):

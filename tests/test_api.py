@@ -2,7 +2,11 @@
 
 import importlib
 
+import pytest
+
 import repro
+
+pytestmark = pytest.mark.fast
 
 
 class TestPublicApi:
@@ -11,7 +15,7 @@ class TestPublicApi:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_subpackages_importable(self):
         for mod in [
@@ -29,7 +33,7 @@ class TestPublicApi:
 
         g = clique_union(10, 40)
         result = build_sparsifier(g, delta_practical(beta=1, epsilon=0.2),
-                                  rng=0)
+                                  seed=0)
         assert mcm_exact(result.subgraph).size >= mcm_exact(g).size / 1.2
 
 

@@ -4,6 +4,8 @@ import pytest
 
 from repro.cli import main
 
+pytestmark = pytest.mark.fast
+
 
 class TestCli:
     def test_list(self, capsys):

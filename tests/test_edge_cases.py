@@ -29,19 +29,19 @@ WITH_ISOLATED = from_edges(8, [(0, 1), (2, 3)])
 class TestSequentialDegenerate:
     @pytest.mark.parametrize("graph", [ISOLATED, SINGLE_EDGE, WITH_ISOLATED])
     def test_runs_and_valid(self, graph):
-        res = approximate_matching(graph, beta=1, epsilon=0.5, rng=0)
+        res = approximate_matching(graph, beta=1, epsilon=0.5, seed=0)
         assert res.matching.is_valid_for(graph)
 
     def test_empty_vertex_set(self):
-        res = approximate_matching(EMPTY, beta=1, epsilon=0.5, rng=0)
+        res = approximate_matching(EMPTY, beta=1, epsilon=0.5, seed=0)
         assert res.matching.size == 0
 
     def test_extreme_epsilon_small(self):
-        res = approximate_matching(SINGLE_EDGE, beta=1, epsilon=0.01, rng=0)
+        res = approximate_matching(SINGLE_EDGE, beta=1, epsilon=0.01, seed=0)
         assert res.matching.size == 1
 
     def test_extreme_epsilon_large(self):
-        res = approximate_matching(STAR, beta=5, epsilon=0.99, rng=0)
+        res = approximate_matching(STAR, beta=5, epsilon=0.99, seed=0)
         assert res.matching.size == 1
 
     def test_epsilon_out_of_range(self):
@@ -53,12 +53,12 @@ class TestSequentialDegenerate:
 
 class TestSparsifierDegenerate:
     def test_star_keeps_structure(self):
-        res = build_sparsifier(STAR, 2, rng=0)
+        res = build_sparsifier(STAR, 2, seed=0)
         # Leaves have degree 1 and mark their only edge: everything stays.
         assert res.subgraph.num_edges == 5
 
     def test_delta_one(self):
-        res = build_sparsifier(SINGLE_EDGE, 1, rng=0)
+        res = build_sparsifier(SINGLE_EDGE, 1, seed=0)
         assert res.subgraph.num_edges == 1
 
     def test_policy_cap_on_tiny_graph(self):
@@ -68,22 +68,22 @@ class TestSparsifierDegenerate:
 
 class TestDistributedDegenerate:
     def test_isolated_network(self):
-        rep = distributed_approx_matching(ISOLATED, beta=1, epsilon=0.5, rng=0)
+        rep = distributed_approx_matching(ISOLATED, beta=1, epsilon=0.5, seed=0)
         assert rep.matching.size == 0
 
     def test_single_edge_network(self):
         rep = distributed_approx_matching(SINGLE_EDGE, beta=1, epsilon=0.5,
-                                          rng=0)
+                                          seed=0)
         assert rep.matching.size == 1
 
     def test_star_network(self):
-        rep = distributed_approx_matching(STAR, beta=5, epsilon=0.5, rng=1)
+        rep = distributed_approx_matching(STAR, beta=5, epsilon=0.5, seed=1)
         assert rep.matching.size == 1
 
 
 class TestDynamicDegenerate:
     def test_insert_then_delete_everything(self):
-        alg = LazyRebuildMatching(4, beta=1, epsilon=0.5, rng=0)
+        alg = LazyRebuildMatching(4, beta=1, epsilon=0.5, seed=0)
         alg.insert(0, 1)
         alg.insert(2, 3)
         alg.delete(0, 1)
@@ -92,7 +92,7 @@ class TestDynamicDegenerate:
         assert alg.graph.num_edges == 0
 
     def test_double_insert_rejected_cleanly(self):
-        alg = LazyRebuildMatching(4, beta=1, epsilon=0.5, rng=0)
+        alg = LazyRebuildMatching(4, beta=1, epsilon=0.5, seed=0)
         alg.insert(0, 1)
         with pytest.raises(ValueError):
             alg.insert(0, 1)
@@ -104,14 +104,14 @@ class TestDynamicDegenerate:
 class TestStreamingDegenerate:
     def test_single_edge_stream(self):
         res = streaming_approx_matching(EdgeStream(2, [(0, 1)]),
-                                        beta=1, epsilon=0.5, rng=0)
+                                        beta=1, epsilon=0.5, seed=0)
         assert res.matching.size == 1
 
     def test_duplicate_edges_in_stream(self):
         """A stream replaying the same edge inflates reservoirs but must
         not create invalid output."""
         stream = EdgeStream(3, [(0, 1), (0, 1), (1, 2)])
-        res = streaming_approx_matching(stream, beta=1, epsilon=0.5, rng=0)
+        res = streaming_approx_matching(stream, beta=1, epsilon=0.5, seed=0)
         g = from_edges(3, [(0, 1), (1, 2)])
         assert res.matching.is_valid_for(g)
 
@@ -119,11 +119,11 @@ class TestStreamingDegenerate:
 class TestMPCDegenerate:
     def test_empty_input(self):
         res = mpc_approx_matching(ISOLATED, beta=1, epsilon=0.5,
-                                  num_machines=2, rng=0)
+                                  num_machines=2, seed=0)
         assert res.matching.size == 0
         assert res.rounds == 3
 
     def test_more_machines_than_edges(self):
         res = mpc_approx_matching(SINGLE_EDGE, beta=1, epsilon=0.5,
-                                  num_machines=8, rng=0)
+                                  num_machines=8, seed=0)
         assert res.matching.size == 1

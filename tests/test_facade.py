@@ -1,0 +1,125 @@
+"""Tests for the unified ``repro.api`` facade."""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    BACKENDS,
+    ApproxMatchingResult,
+    Pipeline,
+    approx_mcm,
+    sparsify,
+)
+from repro.graphs.generators import clique_union
+
+pytestmark = pytest.mark.fast
+
+
+@pytest.fixture
+def small_graph():
+    return clique_union(6, 20)  # beta = 1, dense
+
+
+class TestSignatures:
+    """The facade's call shape is part of its contract — pin it."""
+
+    def test_sparsify_parameters_are_keyword_only(self):
+        params = inspect.signature(sparsify).parameters
+        for name in ("beta", "epsilon", "seed", "rng", "sampler", "policy"):
+            assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_approx_mcm_parameters_are_keyword_only(self):
+        params = inspect.signature(approx_mcm).parameters
+        for name in ("beta", "epsilon", "seed", "rng", "backend"):
+            assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_facade_reexported_from_package_root(self):
+        assert repro.sparsify is sparsify
+        assert repro.approx_mcm is approx_mcm
+        assert repro.Pipeline is Pipeline
+        assert repro.ApproxMatchingResult is ApproxMatchingResult
+
+    def test_seed_and_rng_mutually_exclusive(self, small_graph):
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="not both"):
+            sparsify(small_graph, beta=1, epsilon=0.5, seed=0, rng=gen)
+        with pytest.raises(ValueError, match="not both"):
+            approx_mcm(small_graph, beta=1, epsilon=0.5, seed=0, rng=gen)
+
+
+class TestSparsify:
+    def test_matches_manual_build(self, small_graph):
+        from repro.core.delta import DeltaPolicy
+        from repro.core.sparsifier import build_sparsifier
+
+        res = sparsify(small_graph, beta=1, epsilon=0.5, seed=0)
+        delta = DeltaPolicy.practical().delta(1, 0.5,
+                                              small_graph.num_vertices)
+        manual = build_sparsifier(small_graph, delta, seed=0)
+        assert res.delta == delta
+        assert sorted(res.subgraph.edges()) == sorted(manual.subgraph.edges())
+
+    def test_seed_reproducible(self, small_graph):
+        a = sparsify(small_graph, beta=1, epsilon=0.5, seed=11)
+        b = sparsify(small_graph, beta=1, epsilon=0.5, seed=11)
+        assert sorted(a.subgraph.edges()) == sorted(b.subgraph.edges())
+
+
+class TestApproxMcm:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_backend_returns_valid_matching(self, small_graph, backend):
+        run = approx_mcm(small_graph, beta=1, epsilon=0.5, seed=0,
+                         backend=backend)
+        assert isinstance(run, ApproxMatchingResult)
+        assert run.backend == backend
+        assert run.delta >= 1
+        assert run.report is not None
+        # beta=1 clique union of 6 cliques of 20: MCM = 60; a
+        # (1+eps)-approximation at eps=0.5 must reach at least 40.
+        assert run.matching.size >= 40
+        for u, v in run.matching.edges():
+            assert small_graph.has_edge(u, v)
+
+    def test_unknown_backend_rejected(self, small_graph):
+        with pytest.raises(ValueError, match="unknown backend"):
+            approx_mcm(small_graph, beta=1, epsilon=0.5, backend="quantum")
+
+    def test_options_forwarded_to_backend(self, small_graph):
+        run = approx_mcm(small_graph, beta=1, epsilon=0.5, seed=0,
+                         backend="mpc", num_machines=3)
+        assert run.report.rounds == 3
+
+
+class TestPipeline:
+    def test_validates_backend_eagerly(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Pipeline(beta=1, epsilon=0.5, backend="quantum")
+
+    def test_validates_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            Pipeline(beta=1, epsilon=0.0)
+
+    def test_same_seed_same_sequence(self, small_graph):
+        pipe_a = Pipeline(beta=1, epsilon=0.5, seed=4)
+        pipe_b = Pipeline(beta=1, epsilon=0.5, seed=4)
+        seq_a = [sorted(pipe_a.sparsify(small_graph).subgraph.edges())
+                 for _ in range(3)]
+        seq_b = [sorted(pipe_b.sparsify(small_graph).subgraph.edges())
+                 for _ in range(3)]
+        assert seq_a == seq_b
+
+    def test_applications_draw_independent_randomness(self, small_graph):
+        pipe = Pipeline(beta=1, epsilon=0.5, seed=4)
+        first = sorted(pipe.sparsify(small_graph).subgraph.edges())
+        second = sorted(pipe.sparsify(small_graph).subgraph.edges())
+        assert first != second
+
+    def test_approx_mcm_uses_configured_backend(self, small_graph):
+        pipe = Pipeline(beta=1, epsilon=0.5, backend="streaming", seed=0)
+        run = pipe.approx_mcm(small_graph)
+        assert run.backend == "streaming"

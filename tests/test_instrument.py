@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.instrument.counters import Counter, CounterSet
-from repro.instrument.rng import derive_rng, spawn_rngs
+from repro.instrument.rng import derive_rng, resolve_rng, spawn_rngs
 from repro.instrument.timers import Timer
+
+pytestmark = pytest.mark.fast
 
 
 class TestCounter:
@@ -25,6 +27,23 @@ class TestCounter:
         c.reset()
         assert c.value == 0
 
+    def test_merge_counter(self):
+        a = Counter("probes")
+        a.add(3)
+        b = Counter("probes")
+        b.add(4)
+        assert a.merge(b).value == 7
+
+    def test_merge_int(self):
+        c = Counter("probes")
+        c.add(1)
+        c.merge(9)
+        assert c.value == 10
+
+    def test_merge_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").merge(-1)
+
 
 class TestCounterSet:
     def test_lazy_creation(self):
@@ -40,6 +59,35 @@ class TestCounterSet:
         assert cs.snapshot() == {"a": 1, "b": 2}
         cs.reset()
         assert cs.snapshot() == {"a": 0, "b": 0}
+
+    def test_merge_counterset(self):
+        parent = CounterSet()
+        parent["rounds"].add(2)
+        child = CounterSet()
+        child["rounds"].add(3)
+        child["messages"].add(5)
+        assert parent.merge(child) is parent
+        assert parent.snapshot() == {"rounds": 5, "messages": 5}
+
+    def test_merge_mapping(self):
+        cs = CounterSet()
+        cs.merge({"probes": 4})
+        cs.merge({"probes": 6, "bits": 1})
+        assert cs.snapshot() == {"probes": 10, "bits": 1}
+
+    def test_merge_is_lossless_and_order_independent_in_totals(self):
+        parts = []
+        for i in range(4):
+            part = CounterSet()
+            part["work"].add(i + 1)
+            parts.append(part)
+        forward = CounterSet()
+        for p in parts:
+            forward.merge(p)
+        backward = CounterSet()
+        for p in reversed(parts):
+            backward.merge(p)
+        assert forward.snapshot() == backward.snapshot() == {"work": 10}
 
 
 class TestRng:
@@ -64,6 +112,45 @@ class TestRng:
     def test_spawn_negative(self):
         with pytest.raises(ValueError):
             spawn_rngs(derive_rng(1), -1)
+
+
+class TestResolveRng:
+    def test_seed_keyword(self):
+        a = resolve_rng(seed=5)
+        b = np.random.default_rng(5)
+        assert a.integers(1000) == b.integers(1000)
+
+    def test_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert resolve_rng(rng=gen) is gen
+
+    def test_neither_gives_fresh_generator(self):
+        assert isinstance(resolve_rng(), np.random.Generator)
+
+    def test_both_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_rng(seed=0, rng=np.random.default_rng(0))
+
+    def test_int_via_rng_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="seed= keyword"):
+            gen = resolve_rng(rng=7)
+        assert gen.integers(1000) == np.random.default_rng(7).integers(1000)
+
+    def test_generator_via_seed_warns_but_works(self):
+        source = np.random.default_rng(3)
+        with pytest.warns(DeprecationWarning, match="rng= keyword"):
+            gen = resolve_rng(seed=source)
+        assert gen is source
+
+    def test_shim_still_accepted_by_public_api(self):
+        from repro.core.sparsifier import build_sparsifier
+        from repro.graphs.generators import clique
+
+        g = clique(12)
+        with pytest.warns(DeprecationWarning):
+            old = build_sparsifier(g, 3, rng=0)
+        new = build_sparsifier(g, 3, seed=0)
+        assert sorted(old.subgraph.edges()) == sorted(new.subgraph.edges())
 
 
 def test_timer():

@@ -41,7 +41,7 @@ def test_samplers_agree_in_law_shape(n, p, delta, seed):
     expectation (spot-checked via the deterministic mark-count law)."""
     g = _random_graph(n, p, seed)
     for sampler in ("pos_array", "rejection", "vectorized"):
-        res = build_sparsifier(g, delta, rng=seed, sampler=sampler)
+        res = build_sparsifier(g, delta, seed=seed, sampler=sampler)
         for v, marks in enumerate(res.marked_by):
             if sampler == "rejection" and g.degree(v) <= 2 * delta:
                 assert len(marks) == g.degree(v)  # the §3.1 tweak
@@ -59,7 +59,7 @@ def test_samplers_agree_in_law_shape(n, p, delta, seed):
 )
 def test_sequential_pipeline_never_invalid(n, p, seed):
     g = _random_graph(n, p, seed)
-    res = approximate_matching(g, beta=max(1, n // 3), epsilon=0.5, rng=seed)
+    res = approximate_matching(g, beta=max(1, n // 3), epsilon=0.5, seed=seed)
     assert res.matching.is_valid_for(g)
     assert 2 * res.matching.size >= mcm_exact(g).size  # never worse than 2
 
@@ -73,8 +73,8 @@ def test_sequential_pipeline_never_invalid(n, p, seed):
 def test_streaming_pipeline_never_invalid(n, p, seed):
     g = _random_graph(n, p, seed)
     res = streaming_approx_matching(
-        EdgeStream.from_graph(g, rng=seed), beta=max(1, n // 3),
-        epsilon=0.5, rng=seed,
+        EdgeStream.from_graph(g, seed=seed), beta=max(1, n // 3),
+        epsilon=0.5, seed=seed,
     )
     assert res.matching.is_valid_for(g)
     assert res.passes == 1
@@ -91,7 +91,7 @@ def test_streaming_pipeline_never_invalid(n, p, seed):
 def test_dynamic_sparsifier_mark_law_invariant(n, ops, delta, seed):
     """After any toggle sequence, every vertex touched since its last
     degree change holds exactly min(delta, deg) valid marks."""
-    ds = DynamicSparsifier(n, delta=delta, rng=seed)
+    ds = DynamicSparsifier(n, delta=delta, seed=seed)
     present = set()
     for a, b in ops:
         u, v = a % n, b % n
@@ -135,7 +135,7 @@ def test_sparsifier_preserves_maximality_structure(n, p, delta, seed):
     """|MCM(G_Δ)| never exceeds |MCM(G)| (subgraph monotonicity) and a
     matching maximum in G that survives into G_Δ stays maximum there."""
     g = _random_graph(n, p, seed)
-    res = build_sparsifier(g, delta, rng=seed)
+    res = build_sparsifier(g, delta, seed=seed)
     opt_g = mcm_exact(g).size
     opt_sp = mcm_exact(res.subgraph).size
     assert opt_sp <= opt_g
