@@ -14,7 +14,6 @@ full-size table.
 
 from __future__ import annotations
 
-import pytest
 
 
 def once(benchmark, fn, *args, **kwargs):

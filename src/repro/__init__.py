@@ -27,6 +27,13 @@ model-specific entry points below remain available for full control.
 """
 
 from repro.api import ApproxMatchingResult, Pipeline, approx_mcm, sparsify
+from repro.contracts import (
+    ContractViolation,
+    check_matching,
+    check_sparsifier_degree,
+    check_subgraph,
+    contracts_enabled,
+)
 
 from repro.core import (
     DeltaPolicy,
@@ -72,12 +79,13 @@ from repro.streaming import (
 )
 from repro.mpc import mpc_approx_matching
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptiveAdversary",
     "AdjacencyArrayGraph",
     "ApproxMatchingResult",
+    "ContractViolation",
     "DeltaPolicy",
     "DynamicMaximalMatching",
     "DynamicSparsifier",
@@ -91,7 +99,11 @@ __all__ = [
     "approx_mcm",
     "approximate_matching",
     "build_sparsifier",
+    "check_matching",
+    "check_sparsifier_degree",
+    "check_subgraph",
     "composed_sparsifier",
+    "contracts_enabled",
     "delta_paper",
     "delta_practical",
     "distributed_approx_matching",

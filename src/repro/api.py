@@ -15,6 +15,12 @@ Randomness follows the package-wide convention: every function accepts
 ``seed=`` (an integer) *or* ``rng=`` (an existing
 :class:`numpy.random.Generator`), keyword-only, never both.
 
+Debug mode: when the environment variable ``REPRO_CONTRACTS=1`` is set,
+every facade call re-validates its output against the paper's local
+invariants (:mod:`repro.contracts`) — matchings edge-by-edge, the
+sparsifier's Δ marking bound vertex-by-vertex — and raises
+:class:`~repro.contracts.ContractViolation` on corruption.
+
 Quickstart
 ----------
 >>> from repro.api import approx_mcm, sparsify
@@ -33,6 +39,11 @@ from typing import Any, Literal
 
 import numpy as np
 
+from repro.contracts import (
+    check_matching,
+    check_sparsifier_degree,
+    contracts_enabled,
+)
 from repro.core.delta import DeltaPolicy
 from repro.core.sparsifier import SamplerName, SparsifierResult, build_sparsifier
 from repro.graphs.adjacency import AdjacencyArrayGraph
@@ -103,7 +114,10 @@ def sparsify(
     gen = resolve_rng(seed=seed, rng=rng, owner="sparsify")
     pol = policy or DeltaPolicy.practical()
     delta = pol.delta(beta, epsilon, graph.num_vertices)
-    return build_sparsifier(graph, delta, rng=gen, sampler=sampler)
+    result = build_sparsifier(graph, delta, rng=gen, sampler=sampler)
+    if contracts_enabled():
+        check_sparsifier_degree(result, delta, graph=graph)
+    return result
 
 
 def approx_mcm(
@@ -142,6 +156,8 @@ def approx_mcm(
         Matching plus the backend's native accounting report.
     """
     gen = resolve_rng(seed=seed, rng=rng, owner="approx_mcm")
+    matching: Matching
+    delta: int
     if backend == "sequential":
         from repro.sequential.pipeline import approximate_matching
 
@@ -177,6 +193,8 @@ def approx_mcm(
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
+    if contracts_enabled():
+        check_matching(graph, matching)
     return ApproxMatchingResult(
         matching=matching, backend=backend, delta=delta, report=report
     )

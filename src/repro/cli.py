@@ -6,6 +6,7 @@ Usage::
     repro-experiments e1 --workers 4  # trials fanned over 4 processes
     repro-experiments all --workers auto   # experiments run concurrently
     repro-experiments --list          # enumerate experiment ids
+    repro-experiments lint src tests  # determinism/invariant linter
 
 Parallelism is deterministic: for a fixed ``--seed``, tables are
 identical at any ``--workers`` value (per-trial RNGs are spawned from
@@ -40,6 +41,13 @@ def _accepted_kwargs(fn, **candidates):
 
 def main(argv: list[str] | None = None) -> int:
     """Run the requested experiments and print their tables."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "lint":
+        # The linter is a separate subcommand with its own option set;
+        # dispatch before the experiment parser sees (and rejects) it.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     ids = _experiment_ids()
     id_range = f"{ids[0]}..{ids[-1]}"
     parser = argparse.ArgumentParser(
@@ -52,7 +60,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help=f"experiment id ({id_range}) or 'all'",
+        help=f"experiment id ({id_range}), 'all', or the 'lint' subcommand",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"

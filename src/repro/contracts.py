@@ -1,0 +1,172 @@
+"""Runtime contracts: executable forms of the paper's local invariants.
+
+The reproduction's central objects all have *locally checkable*
+correctness conditions — a matching is valid edge-by-edge, the
+sparsifier's marking bound holds vertex-by-vertex, a subgraph is a
+subgraph edge-by-edge.  This module turns them into cheap assertions:
+
+* :func:`check_matching` — every matched edge exists in the host graph
+  (the mate-array involution is already enforced by
+  :class:`~repro.matching.matching.Matching` itself);
+* :func:`check_sparsifier_degree` — the Section 2 marking law: every
+  vertex marks at most Δ distinct incident edges, so
+  |E(G_Δ)| ≤ Σ_v min(Δ, deg v) (for bounded-degree sparsifiers, a plain
+  max-degree ≤ Δ check);
+* :func:`check_subgraph` — same vertex set, every edge present in the
+  host.
+
+Checks raise :class:`ContractViolation` (an :class:`AssertionError`
+subclass) with a pinpointed message and otherwise return their subject,
+so they compose as pass-throughs::
+
+    matching = check_matching(graph, matcher(graph))
+
+**Gating.**  The :mod:`repro.api` facade calls these automatically when
+the environment variable ``REPRO_CONTRACTS=1`` (or ``true``/``yes``/
+``on``) is set — the debug mode used in CI and while developing — and
+skips them otherwise, so production paths pay nothing.  Tests call the
+checkers directly, ungated.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.core.sparsifier import SparsifierResult
+from repro.graphs.adjacency import AdjacencyArrayGraph
+from repro.matching.matching import Matching
+
+#: Environment variable that switches the facade's debug-mode checks on.
+CONTRACTS_ENV = "REPRO_CONTRACTS"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+class ContractViolation(AssertionError):
+    """A runtime invariant of the reproduction failed.
+
+    Subclasses :class:`AssertionError` so existing ``pytest.raises``
+    patterns and ``verify_matching``-style call sites keep working.
+    """
+
+
+def contracts_enabled() -> bool:
+    """Whether ``REPRO_CONTRACTS`` requests debug-mode contract checks.
+
+    Read from the environment on every call (not cached) so tests can
+    flip it with ``monkeypatch.setenv`` and the engine's worker processes
+    inherit the parent's setting naturally.
+    """
+    return os.environ.get(CONTRACTS_ENV, "").strip().lower() in _TRUTHY
+
+
+def _fail(message: str) -> None:
+    raise ContractViolation(message)
+
+
+def check_matching(graph: AdjacencyArrayGraph, matching: Matching) -> Matching:
+    """Assert ``matching`` is a valid matching *in* ``graph``.
+
+    The involution/self-loop structure of the mate array is validated by
+    the :class:`Matching` constructor; this adds the graph-dependent
+    half: compatible sizes and every matched edge present in ``graph``.
+    """
+    if matching.mate.size != graph.num_vertices:
+        _fail(
+            f"matching covers {matching.mate.size} vertices but the graph "
+            f"has {graph.num_vertices}"
+        )
+    for u, v in matching.edges():
+        if not graph.has_edge(u, v):
+            _fail(f"matched edge ({u}, {v}) is not an edge of the graph")
+    return matching
+
+
+def check_subgraph(
+    subgraph: AdjacencyArrayGraph, graph: AdjacencyArrayGraph
+) -> AdjacencyArrayGraph:
+    """Assert ``subgraph`` is a subgraph of ``graph`` on the same vertices."""
+    if subgraph.num_vertices != graph.num_vertices:
+        _fail(
+            f"subgraph has {subgraph.num_vertices} vertices, host has "
+            f"{graph.num_vertices}"
+        )
+    for u, v in subgraph.edges():
+        if not graph.has_edge(u, v):
+            _fail(f"subgraph edge ({u}, {v}) is absent from the host graph")
+    return subgraph
+
+
+def check_sparsifier_degree(
+    sparsifier: Union[SparsifierResult, AdjacencyArrayGraph],
+    delta: int,
+    *,
+    graph: AdjacencyArrayGraph | None = None,
+) -> Union[SparsifierResult, AdjacencyArrayGraph]:
+    """Assert the Δ-bounded marking/degree law of a sparsifier.
+
+    For a :class:`~repro.core.sparsifier.SparsifierResult` (the paper's
+    G_Δ), the checkable per-vertex invariant is the *marking* bound of
+    Section 2 — each vertex marks at most Δ distinct neighbors, and
+    therefore |E(G_Δ)| ≤ Σ_v min(Δ, deg_G v) ≤ n·Δ.  (Note G_Δ's vertex
+    *degrees* are not individually bounded by Δ: a star's center keeps
+    all its edges because every leaf marks its only edge.)  When
+    ``graph`` is supplied, marks are also checked to be genuine
+    neighbors and G_Δ to be a subgraph.
+
+    For a plain :class:`AdjacencyArrayGraph` — e.g. Solomon's
+    bounded-degree sparsifier, whose guarantee *is* a degree cap — the
+    check is simply ``max_degree() <= delta``.
+    """
+    if delta < 1:
+        _fail(f"delta must be >= 1, got {delta}")
+    if isinstance(sparsifier, AdjacencyArrayGraph):
+        worst = sparsifier.max_degree()
+        if worst > delta:
+            _fail(
+                f"bounded-degree sparsifier has max degree {worst} > "
+                f"delta={delta}"
+            )
+        if graph is not None:
+            check_subgraph(sparsifier, graph)
+        return sparsifier
+    for v, marks in enumerate(sparsifier.marked_by):
+        if len(marks) > delta:
+            _fail(
+                f"vertex {v} marked {len(marks)} edges > delta={delta} "
+                "(Section 2 marking bound)"
+            )
+        if len(set(marks)) != len(marks):
+            _fail(f"vertex {v} marked a neighbor twice: {marks}")
+        if graph is not None:
+            for u in marks:
+                if not graph.has_edge(v, u):
+                    _fail(f"vertex {v} marked non-neighbor {u}")
+    if graph is not None:
+        check_subgraph(sparsifier.subgraph, graph)
+        budget = int(
+            sum(min(delta, graph.degree(v))
+                for v in range(graph.num_vertices))
+        )
+        if sparsifier.subgraph.num_edges > budget:
+            _fail(
+                f"G_delta has {sparsifier.subgraph.num_edges} edges > "
+                f"marking budget {budget}"
+            )
+    elif sparsifier.subgraph.num_edges > sparsifier.subgraph.num_vertices * delta:
+        _fail(
+            f"G_delta has {sparsifier.subgraph.num_edges} edges > "
+            f"n*delta = {sparsifier.subgraph.num_vertices * delta}"
+        )
+    return sparsifier
+
+
+__all__ = [
+    "CONTRACTS_ENV",
+    "ContractViolation",
+    "check_matching",
+    "check_sparsifier_degree",
+    "check_subgraph",
+    "contracts_enabled",
+]

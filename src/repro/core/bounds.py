@@ -16,7 +16,6 @@ formulas.  Everything is a direct transcription of a theorem statement:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.core.delta import delta_paper, delta_practical

@@ -63,7 +63,10 @@ class DynamicGraph:
         """The i-th neighbor in the internal (mutation-dependent) order."""
         return self._adj[v][i]
 
-    def sample_neighbors(
+    # Hot-loop primitive on the update path (Theorem 3.5's per-update
+    # budget): callers thread one long-lived generator through many calls,
+    # so a per-call seed= resolution would add overhead and mislead.
+    def sample_neighbors(  # repro-lint: ignore[R4]
         self, v: int, k: int, rng: np.random.Generator
     ) -> list[int]:
         """min(k, deg) distinct uniform random neighbors of v, O(k) time."""

@@ -24,6 +24,7 @@ from typing import Generator
 import numpy as np
 
 from repro.dynamic.graph import DynamicGraph
+from repro.instrument.rng import resolve_rng
 
 #: Yield granularity: one chunk ≈ this many elementary operations.  The
 #: driver converts chunks to the per-update budget.
@@ -131,11 +132,16 @@ def incremental_rebuild(
     graph: DynamicGraph,
     delta: int,
     sweeps: int,
-    rng: np.random.Generator,
+    rng: np.random.Generator | int | None = None,
     chunk: int = DEFAULT_CHUNK,
     search_cap_factor: int = 64,
+    *,
+    seed: int | None = None,
 ) -> Generator[int, None, np.ndarray]:
     """Generator running the static pipeline in ~``chunk``-op slices.
+
+    Randomness follows the uniform convention: pass ``rng=`` (an existing
+    :class:`numpy.random.Generator`) or ``seed=`` (an integer), not both.
 
     Yields ``1`` per consumed chunk; the final ``return`` value (via
     ``StopIteration.value``) is the mate array of the computed matching
@@ -149,6 +155,7 @@ def incremental_rebuild(
     (a dead edge is skipped), so the result only degrades by the number
     of deletions that raced the rebuild — the Lemma 3.4 slack.
     """
+    rng = resolve_rng(seed=seed, rng=rng, owner="incremental_rebuild")
     n = graph.num_vertices
     ops = 0
 

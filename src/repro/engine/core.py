@@ -26,6 +26,10 @@ module-level function, and its arguments must be cheap to ship: send the
 *generator spec and seed*, not the built graph, and rebuild (memoized)
 inside the worker.  A large object genuinely shared by every task can be
 broadcast once per worker via ``context=`` instead of once per task.
+(Rule R3 of ``repro.lint`` enforces the module-level requirement
+statically: lambdas and nested functions would either fail to pickle or,
+worse, close over ``Generator`` state and break worker-count
+independence.)
 """
 
 from __future__ import annotations
@@ -33,14 +37,14 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Literal, Sequence
+from typing import Any, Callable, Iterable, Literal, Sequence, TypeAlias
 
 import numpy as np
 
 from repro.instrument.counters import CounterSet
-from repro.instrument.rng import spawn_rngs
+from repro.instrument.rng import resolve_rng, spawn_rngs
 
-WorkerSpec = int | Literal["auto"]
+WorkerSpec: TypeAlias = int | Literal["auto"]
 
 
 def resolve_workers(workers: WorkerSpec) -> int:
@@ -84,8 +88,8 @@ class TrialTask:
     """
 
     fn: Callable[..., Any]
-    args: tuple = ()
-    kwargs: dict = field(default_factory=dict)
+    args: tuple[Any, ...] = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
     rng: np.random.Generator | None = None
     wants_context: bool = False
     wants_metrics: bool = False
@@ -93,19 +97,26 @@ class TrialTask:
 
 def fanout(
     fn: Callable[..., Any],
-    rng: np.random.Generator,
-    kwargs_list: Sequence[dict],
+    rng: np.random.Generator | int | None = None,
+    kwargs_list: Sequence[dict] = (),
+    *,
+    seed: int | None = None,
     **task_options: Any,
 ) -> list[TrialTask]:
     """Build one :class:`TrialTask` per kwargs dict, each with its own
-    child generator spawned from ``rng`` in list order.
+    child generator spawned from the root generator in list order.
+
+    Randomness follows the uniform convention: pass ``rng=`` (the root
+    :class:`numpy.random.Generator` to spawn from) or ``seed=`` (an
+    integer root seed), not both.
 
     This is the standard way experiments turn a trial loop into a task
     list: the spawn sequence is exactly the one the old inline loop
     produced (numpy spawn keys are consumed left to right), so tables
     stay byte-identical to the serial implementation.
     """
-    children = spawn_rngs(rng, len(kwargs_list))
+    root = resolve_rng(seed=seed, rng=rng, owner="fanout")
+    children = spawn_rngs(root, len(kwargs_list))
     return [
         TrialTask(fn=fn, kwargs=dict(kwargs), rng=child, **task_options)
         for kwargs, child in zip(kwargs_list, children)
@@ -180,7 +191,7 @@ def execute(
             initargs=(context,),
         ) as pool:
             outcomes = list(pool.map(_pool_entry, task_list))
-    results = []
+    results: list[Any] = []
     for value, task_metrics in outcomes:
         if metrics is not None and task_metrics is not None:
             metrics.merge(task_metrics)

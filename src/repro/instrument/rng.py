@@ -80,7 +80,9 @@ def resolve_rng(
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+# Generator-transformer primitive: it forks children from an *existing*
+# generator, so a seed= twin would be ambiguous (resolve first, then spawn).
+def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:  # repro-lint: ignore[R4]
     """Derive ``count`` statistically independent child generators.
 
     Uses :meth:`numpy.random.Generator.spawn`, which is the supported way

@@ -1,0 +1,89 @@
+"""The ``repro-experiments lint`` subcommand.
+
+Usage::
+
+    repro-experiments lint                       # lint src and tests
+    repro-experiments lint src/repro/core        # lint a subtree
+    repro-experiments lint --format json src     # CI-friendly output
+    repro-experiments lint --select R1,R4 src    # subset of rules
+    repro-experiments lint --explain             # print the rule table
+
+Exit status: 0 clean, 1 violations found, 2 usage error — so the command
+drops straight into CI and pre-commit hooks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.rules import RULES
+from repro.lint.runner import format_json, format_text, lint_paths
+
+
+def _explain() -> str:
+    """Render the rule table (kept in sync with docs/LINTING.md)."""
+    width = max(len(rule.title) for rule in RULES.values())
+    return "\n".join(
+        f"{rule.code}  {rule.title:<{width}}  {rule.summary}"
+        for rule in RULES.values()
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse lint arguments, run the rules, print the report."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments lint",
+        description="AST determinism & invariant linter (rules R1-R5; "
+                    "suppress per line with `# repro-lint: ignore[R..]`).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        print(_explain())
+        return 0
+
+    rules = None
+    if args.select is not None:
+        codes = [c.strip().upper() for c in args.select.split(",") if c.strip()]
+        unknown = [c for c in codes if c not in RULES]
+        if unknown:
+            print(f"unknown rule codes {unknown}; known: {sorted(RULES)}",
+                  file=sys.stderr)
+            return 2
+        rules = [RULES[c] for c in codes]
+
+    try:
+        violations = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"could not parse {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return 2
+
+    report = (format_json(violations) if args.format == "json"
+              else format_text(violations))
+    print(report)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""File discovery, rule dispatch, pragma filtering, and output formats.
+
+The runner is the library face of the linter: :func:`lint_paths` is what
+the CLI and the test suite call, :func:`lint_source` is the unit-test
+entry point for individual snippets.
+
+Directory walks skip any component named ``fixtures`` — the lint test
+suite keeps deliberately-violating snippets there — and hidden/cache
+directories.  A path given *explicitly* is always linted, so tests can
+point at fixture files directly.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.rules import RULES, Rule, RuleContext
+from repro.lint.violations import Violation, collect_pragmas, is_suppressed
+
+#: Directory names never descended into during discovery.
+SKIP_DIRS = frozenset({"fixtures", "__pycache__", ".git", ".venv", "build"})
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into the sorted list of ``.py`` targets.
+
+    Directories are walked recursively, skipping :data:`SKIP_DIRS`
+    components and hidden directories; explicit file paths pass through
+    unconditionally (this is how the test suite lints fixtures that a
+    tree walk would skip).
+    """
+    found: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                relative = candidate.relative_to(path)
+                if any(part in SKIP_DIRS or part.startswith(".")
+                       for part in relative.parts[:-1]):
+                    continue
+                found.append(candidate)
+        elif path.suffix == ".py":
+            found.append(path)
+        else:
+            raise FileNotFoundError(f"lint target {path} is not a .py file "
+                                    "or directory")
+    unique: dict[Path, None] = {}
+    for path in found:
+        unique.setdefault(path, None)
+    return list(unique)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Iterable[Rule] | None = None,
+) -> list[Violation]:
+    """Lint one source string; the core everything else wraps.
+
+    Pragma suppression is applied here so every entry point honors
+    ``# repro-lint: ignore[...]`` identically.
+    """
+    tree = ast.parse(source, filename=path)
+    ctx = RuleContext(path=path, tree=tree, source=source)
+    pragmas = collect_pragmas(source)
+    out: list[Violation] = []
+    for rule in (RULES.values() if rules is None else rules):
+        for violation in rule.check(ctx):
+            if not is_suppressed(violation, pragmas):
+                out.append(violation)
+    return sorted(out)
+
+
+def lint_file(
+    path: str | Path, rules: Iterable[Rule] | None = None
+) -> list[Violation]:
+    """Lint one file from disk (explicitly, bypassing discovery skips)."""
+    target = Path(path)
+    return lint_source(target.read_text(encoding="utf-8"), str(target), rules)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Iterable[Rule] | None = None,
+) -> list[Violation]:
+    """Lint every discovered file under ``paths``; sorted violations."""
+    out: list[Violation] = []
+    for target in discover_files(paths):
+        out.extend(lint_file(target, rules))
+    return sorted(out)
+
+
+def format_text(violations: Sequence[Violation]) -> str:
+    """Human-readable report: one ``path:line:col: RULE msg`` per line."""
+    lines = [v.format() for v in violations]
+    lines.append(f"{len(violations)} violation"
+                 f"{'' if len(violations) == 1 else 's'} found"
+                 if violations else "clean: no violations")
+    return "\n".join(lines)
+
+
+def format_json(violations: Sequence[Violation]) -> str:
+    """Machine-readable report for CI annotation tooling."""
+    return json.dumps(
+        {"violations": [v.to_dict() for v in violations],
+         "count": len(violations)},
+        indent=2,
+    )

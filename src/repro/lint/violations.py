@@ -1,0 +1,95 @@
+"""Violation records and the ``# repro-lint:`` pragma grammar.
+
+A violation pins one rule breach to one source line.  Findings are
+suppressed per line with an inline pragma::
+
+    x = np.random.rand()        # repro-lint: ignore[R1]
+    y = risky(), hack()         # repro-lint: ignore[R1,R5]
+    z = legacy_everything()     # repro-lint: ignore
+
+``ignore`` with no bracket list suppresses every rule on that line; the
+bracketed form suppresses only the named rules.  For a multi-line
+statement (e.g. a ``def`` whose signature spans lines) the pragma goes on
+the line the violation reports — always the statement's first line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Matches one ignore pragma; group 1 is the optional rule list.
+PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+#: Sentinel rule-set meaning "every rule is suppressed on this line".
+ALL_RULES = frozenset({"*"})
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule breach at one source location.
+
+    Attributes
+    ----------
+    path:
+        File the violation was found in (as given to the runner).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule code (``"R1"`` … ``"R5"``).
+    message:
+        Human-readable explanation, including the fix direction.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: RULE message`` (clickable in IDEs)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def collect_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> set of suppressed rule codes (or :data:`ALL_RULES`).
+
+    Only the comment trailer is inspected, so a pragma inside a string
+    literal on a code line could in principle false-positive; in practice
+    the marker is long enough that this never bites, and erring toward
+    suppression is the safe direction for a pre-commit gate's UX.
+    """
+    pragmas: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            pragmas[lineno] = ALL_RULES
+        else:
+            pragmas[lineno] = frozenset(
+                token.strip().upper() for token in rules.split(",") if token.strip()
+            )
+    return pragmas
+
+
+def is_suppressed(
+    violation: Violation, pragmas: dict[int, frozenset[str]]
+) -> bool:
+    """Whether ``violation`` is silenced by a pragma on its line."""
+    rules = pragmas.get(violation.line)
+    if rules is None:
+        return False
+    return rules is ALL_RULES or "*" in rules or violation.rule in rules

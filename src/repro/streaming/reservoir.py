@@ -29,18 +29,26 @@ class VertexReservoir:
     ----------
     capacity:
         Δ, the reservoir size.
-    rng:
-        This vertex's private generator (per-vertex independence is what
-        Observation 2.9 needs).
+    rng, seed:
+        Uniform randomness keywords: this vertex's private generator via
+        ``rng=`` (per-vertex independence is what Observation 2.9 needs —
+        :func:`streaming_sparsifier` spawns one child per vertex), or an
+        integer ``seed=`` for standalone use.
     """
 
     __slots__ = ("capacity", "_rng", "_items", "_seen")
 
-    def __init__(self, capacity: int, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        seed: int | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._rng = rng
+        self._rng = resolve_rng(seed=seed, rng=rng, owner="VertexReservoir")
         self._items: list[int] = []
         self._seen = 0
 

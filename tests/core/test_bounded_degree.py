@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.bounded_degree import solomon_degree_bound, solomon_sparsifier
 from repro.graphs.builder import from_edges
-from repro.graphs.generators import clique_union, erdos_renyi
+from repro.graphs.generators import erdos_renyi
 from repro.matching.blossom import mcm_exact
 
 

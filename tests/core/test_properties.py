@@ -1,6 +1,5 @@
 """Tests for the Section 2.2 property checkers."""
 
-import pytest
 
 from repro.core.properties import (
     QualityReport,

@@ -1,6 +1,5 @@
 """Tests for dynamic distributed maintenance of G_Δ."""
 
-import numpy as np
 import pytest
 
 from repro.distributed.dynamic_network import DynamicDistributedSparsifier

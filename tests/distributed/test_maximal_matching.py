@@ -1,6 +1,5 @@
 """Tests for the randomized distributed maximal matching protocol."""
 
-import numpy as np
 import pytest
 
 from repro.distributed.maximal_matching import RandomizedMatchingProtocol

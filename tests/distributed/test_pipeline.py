@@ -1,6 +1,5 @@
 """Integration tests for the distributed pipelines (Theorems 3.2/3.3)."""
 
-import pytest
 
 from repro.distributed.pipeline import (
     distributed_approx_matching,

@@ -1,6 +1,5 @@
 """Tests for the one-round distributed sparsifier protocol."""
 
-import numpy as np
 
 from repro.distributed.network import SyncNetwork
 from repro.distributed.sparsify_round import SparsifierProtocol

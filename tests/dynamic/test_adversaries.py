@@ -1,6 +1,5 @@
 """Tests for the update-stream adversaries."""
 
-import numpy as np
 import pytest
 
 from repro.dynamic.adversaries import (
@@ -8,7 +7,6 @@ from repro.dynamic.adversaries import (
     ObliviousAdversary,
     Update,
 )
-from repro.graphs.generators import clique_union
 from repro.matching.matching import Matching
 
 

@@ -1,6 +1,5 @@
 """Tests for the deterministic dynamic maximal matching baseline."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.dynamic.baseline import DynamicMaximalMatching

@@ -1,6 +1,5 @@
 """Tests for O(Δ)-update dynamic maintenance of G_Δ."""
 
-import numpy as np
 import pytest
 
 from repro.dynamic.adversaries import ObliviousAdversary

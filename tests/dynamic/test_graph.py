@@ -1,7 +1,6 @@
 """Tests for the dynamic graph substrate, incl. a reference-model property."""
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for the work-chunked incremental rebuild generator."""
 
 import numpy as np
-import pytest
 
 from repro.dynamic.graph import DynamicGraph
 from repro.dynamic.incremental import incremental_rebuild

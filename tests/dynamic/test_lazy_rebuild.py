@@ -1,12 +1,10 @@
 """Tests for the Theorem 3.5 windowed-rebuild dynamic matcher."""
 
-import numpy as np
 import pytest
 
 from repro.dynamic.adversaries import AdaptiveAdversary, ObliviousAdversary
 from repro.dynamic.lazy_rebuild import LazyRebuildMatching
 from repro.graphs.generators import clique_union
-from repro.matching.blossom import mcm_exact
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for the Lemma 3.4 stability machinery."""
 
-import numpy as np
 import pytest
 
 from repro.dynamic.graph import DynamicGraph

@@ -4,7 +4,6 @@ Each test uses deliberately tiny parameters so the full file stays fast;
 the benchmark harness runs the real sizes.
 """
 
-import pytest
 
 from repro.experiments import REGISTRY
 from repro.experiments import (

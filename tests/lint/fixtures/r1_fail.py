@@ -1,0 +1,14 @@
+"""R1 failing fixture: three flavors of global-state randomness."""
+
+import numpy as np
+from random import shuffle  # from-import of stdlib random
+
+
+def noisy_vector(n):
+    """Legacy numpy global-state draw."""
+    return np.random.rand(n)
+
+
+def unseeded():
+    """default_rng with no seed outside resolve_rng."""
+    return np.random.default_rng()

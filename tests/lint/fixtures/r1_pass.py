@@ -1,0 +1,16 @@
+"""R1 passing fixture: all randomness flows through the convention."""
+
+import numpy as np
+
+from repro.instrument.rng import resolve_rng
+
+
+def noisy_vector(n, rng=None, *, seed=None):
+    """Seeded Generator draw via the uniform keyword pair."""
+    gen = resolve_rng(seed=seed, rng=rng, owner="noisy_vector")
+    return gen.random(n)
+
+
+def explicit_seed():
+    """An explicitly seeded default_rng is reproducible, hence fine."""
+    return np.random.default_rng(1234)

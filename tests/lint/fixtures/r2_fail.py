@@ -1,0 +1,15 @@
+"""R2 failing fixture: wall-clock and OS-entropy reads."""
+
+import os
+import time
+from time import perf_counter  # banned from-import
+
+
+def stamp():
+    """Wall-clock read outside the timers module."""
+    return time.time()
+
+
+def token():
+    """OS entropy is nondeterministic by construction."""
+    return os.urandom(8)

@@ -1,0 +1,10 @@
+"""R2 passing fixture: timing goes through repro.instrument.timers."""
+
+from repro.instrument.timers import Timer
+
+
+def timed_work(fn):
+    """Use the sanctioned timer abstraction."""
+    with Timer() as t:
+        fn()
+    return t.elapsed

@@ -1,0 +1,13 @@
+"""R3 failing fixture: lambdas and nested defs as engine tasks."""
+
+from repro.engine import TrialTask, fanout
+
+
+def build_tasks(rng):
+    """Both shapes the purity rule bans."""
+    def local_trial(x, *, rng):  # closes over enclosing scope
+        return x
+
+    bad_lambda = TrialTask(fn=lambda x: x, args=(1,))
+    bad_nested = fanout(local_trial, rng, [{"x": 1}])
+    return bad_lambda, bad_nested

@@ -1,0 +1,15 @@
+"""R3 passing fixture: module-top-level task functions."""
+
+from repro.engine import TrialTask, fanout
+
+
+def trial(x, *, rng):
+    """A picklable module-level trial function."""
+    return x
+
+
+def build_tasks(rng):
+    """Engine submissions referencing only top-level callables."""
+    single = TrialTask(fn=trial, args=(1,))
+    batch = fanout(trial, rng, [{"x": 1}, {"x": 2}])
+    return single, batch

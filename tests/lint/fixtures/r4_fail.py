@@ -1,0 +1,20 @@
+"""R4 failing fixture: rng-accepting signatures off the convention.
+
+Linted by the tests under a synthetic ``src/repro/...`` path, since R4
+only applies inside the ``repro`` package.
+"""
+
+import numpy as np
+
+
+def sample_edges(graph, rng: np.random.Generator):
+    """Bare required rng, no seed= twin."""
+    return rng.integers(10)
+
+
+class Widget:
+    """Public class whose constructor misses the seed/rng pair."""
+
+    def __init__(self, size, *, rng: np.random.Generator, seed=None):
+        self.size = size
+        self.rng = rng

@@ -1,0 +1,21 @@
+"""R4 passing fixture: the uniform seed=/rng= pair, rng defaulted."""
+
+import numpy as np
+
+from repro.instrument.rng import resolve_rng
+
+
+def sample_edges(
+    graph,
+    rng: np.random.Generator | int | None = None,
+    *,
+    seed: int | None = None,
+):
+    """Conforming public signature."""
+    gen = resolve_rng(seed=seed, rng=rng, owner="sample_edges")
+    return gen.integers(10)
+
+
+def _internal_probe(rng):
+    """Private helpers may thread a raw generator."""
+    return rng.integers(2)

@@ -1,0 +1,19 @@
+"""R5 failing fixture: mutable defaults and set-order table rows.
+
+Linted by the tests under a synthetic ``experiments/`` path for the
+set-iteration half of the rule.
+"""
+
+
+def accumulate(row, bucket=[]):
+    """Classic mutable-default bug."""
+    bucket.append(row)
+    return bucket
+
+
+def table_rows(edges):
+    """Row order here depends on set iteration order."""
+    rows = []
+    for u, v in set(edges):
+        rows.append((u, v))
+    return rows

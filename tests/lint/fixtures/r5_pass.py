@@ -1,0 +1,14 @@
+"""R5 passing fixture: None defaults and sorted iteration."""
+
+
+def accumulate(row, bucket=None):
+    """Container created per call."""
+    if bucket is None:
+        bucket = []
+    bucket.append(row)
+    return bucket
+
+
+def table_rows(edges):
+    """Deterministic row order via sorted()."""
+    return [(u, v) for u, v in sorted(set(edges))]

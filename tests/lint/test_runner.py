@@ -1,0 +1,115 @@
+"""Runner/CLI behavior: pragmas, discovery skips, formats, exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import RULES, discover_files, lint_paths, lint_source
+from repro.lint.cli import main as lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+VIOLATING = "import numpy as np\nx = np.random.rand(3)\n"
+
+
+@pytest.mark.fast
+class TestPragmas:
+    def test_rule_specific_ignore_suppresses(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # repro-lint: ignore[R1]\n"
+        assert lint_source(src, rules=[RULES["R1"]]) == []
+
+    def test_bare_ignore_suppresses_all(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # repro-lint: ignore\n"
+        assert lint_source(src) == []
+
+    def test_other_rule_pragma_does_not_suppress(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # repro-lint: ignore[R2]\n"
+        assert len(lint_source(src, rules=[RULES["R1"]])) == 1
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        src = "# repro-lint: ignore[R1]\nimport numpy as np\nx = np.random.rand(3)\n"
+        assert len(lint_source(src, rules=[RULES["R1"]])) == 1
+
+
+@pytest.mark.fast
+class TestDiscovery:
+    def test_fixture_directories_are_skipped(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "fixtures").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "fixtures" / "bad.py").write_text(VIOLATING)
+        found = discover_files([tmp_path])
+        assert [p.name for p in found] == ["ok.py"]
+
+    def test_explicit_file_path_always_linted(self):
+        violations = lint_paths([FIXTURES / "r1_fail.py"], rules=[RULES["R1"]])
+        assert violations
+
+    def test_tree_lint_skips_this_suites_fixtures(self):
+        assert lint_paths([Path(__file__).parent]) == []
+
+    def test_non_python_target_rejected(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello")
+        with pytest.raises(FileNotFoundError):
+            discover_files([target])
+
+
+@pytest.mark.fast
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one_text(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(VIOLATING)
+        assert lint_main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R1" in out and "bad.py:2" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(VIOLATING)
+        assert lint_main(["--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["violations"][0]["rule"] == "R1"
+
+    def test_select_filters_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(VIOLATING)
+        assert lint_main(["--select", "R2", str(bad)]) == 0
+        assert lint_main(["--select", "R1", str(bad)]) == 1
+
+    def test_unknown_rule_code_is_usage_error(self, tmp_path):
+        assert lint_main(["--select", "R9", str(tmp_path)]) == 2
+
+    def test_missing_target_is_usage_error(self, tmp_path):
+        assert lint_main([str(tmp_path / "nope.txt")]) == 2
+
+    def test_syntax_error_is_usage_error(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert lint_main([str(bad)]) == 2
+
+    def test_explain_lists_all_rules(self, capsys):
+        assert lint_main(["--explain"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+    def test_dispatch_through_repro_experiments(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert cli_main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+@pytest.mark.fast
+def test_repository_tree_is_clean():
+    """The enforced gate: src and tests lint clean (fixtures excepted)."""
+    repo_root = Path(__file__).resolve().parents[2]
+    assert lint_paths([repo_root / "src", repo_root / "tests"]) == []

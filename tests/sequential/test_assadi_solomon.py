@@ -1,6 +1,5 @@
 """Tests for the Assadi–Solomon-style [8] baseline."""
 
-import numpy as np
 import pytest
 
 from repro.graphs.builder import from_edges

@@ -1,6 +1,5 @@
 """Tests for the Theorem 3.1 sequential pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.core.delta import DeltaPolicy

@@ -1,7 +1,5 @@
 """Tests for the semi-streaming matchers."""
 
-import numpy as np
-import pytest
 
 from repro.experiments.e8_distributed import trap_graph
 from repro.graphs.generators import clique_union

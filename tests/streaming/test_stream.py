@@ -1,6 +1,5 @@
 """Tests for the edge-stream abstraction."""
 
-import numpy as np
 
 from repro.graphs.generators import clique_union
 from repro.streaming.stream import EdgeStream

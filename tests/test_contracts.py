@@ -1,0 +1,181 @@
+"""Contract-layer tests: corrupted objects are rejected, valid ones pass,
+and the REPRO_CONTRACTS gate actually controls the facade's checks."""
+
+import pytest
+
+from repro.api import approx_mcm, sparsify
+from repro.contracts import (
+    CONTRACTS_ENV,
+    ContractViolation,
+    check_matching,
+    check_sparsifier_degree,
+    check_subgraph,
+    contracts_enabled,
+)
+from repro.core.sparsifier import SparsifierResult, build_sparsifier
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import clique_union
+from repro.matching.matching import Matching
+
+
+def _path_graph(n):
+    return from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+@pytest.mark.fast
+class TestGate:
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv(CONTRACTS_ENV, value)
+        assert contracts_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "2"])
+    def test_other_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv(CONTRACTS_ENV, value)
+        assert not contracts_enabled()
+
+    def test_unset_disables(self, monkeypatch):
+        monkeypatch.delenv(CONTRACTS_ENV, raising=False)
+        assert not contracts_enabled()
+
+
+@pytest.mark.fast
+class TestCheckMatching:
+    def test_valid_matching_passes_through(self):
+        g = _path_graph(4)
+        m = Matching.from_edges(4, [(0, 1), (2, 3)])
+        assert check_matching(g, m) is m
+
+    def test_nonexistent_edge_rejected(self):
+        g = _path_graph(4)
+        phantom = Matching.from_edges(4, [(0, 3)])  # not a path edge
+        with pytest.raises(ContractViolation, match=r"\(0, 3\)"):
+            check_matching(g, phantom)
+
+    def test_size_mismatch_rejected(self):
+        g = _path_graph(4)
+        with pytest.raises(ContractViolation, match="vertices"):
+            check_matching(g, Matching.empty(5))
+
+
+@pytest.mark.fast
+class TestCheckSubgraph:
+    def test_valid_subgraph_passes(self):
+        g = _path_graph(5)
+        sub = from_edges(5, [(1, 2)])
+        assert check_subgraph(sub, g) is sub
+
+    def test_foreign_edge_rejected(self):
+        g = _path_graph(5)
+        with pytest.raises(ContractViolation, match="absent"):
+            check_subgraph(from_edges(5, [(0, 4)]), g)
+
+    def test_vertex_count_mismatch_rejected(self):
+        g = _path_graph(5)
+        with pytest.raises(ContractViolation, match="vertices"):
+            check_subgraph(from_edges(4, []), g)
+
+
+@pytest.mark.fast
+class TestCheckSparsifierDegree:
+    def test_real_construction_passes(self):
+        g = clique_union(6, 12)
+        result = build_sparsifier(g, 4, seed=0)
+        assert check_sparsifier_degree(result, 4, graph=g) is result
+
+    def test_overfull_marking_rejected(self):
+        g = _path_graph(6)
+        honest = build_sparsifier(g, 2, seed=0)
+        corrupt = SparsifierResult(
+            subgraph=honest.subgraph,
+            marked_by=((1, 2, 3),) + honest.marked_by[1:],  # 3 marks > delta
+            delta=2,
+        )
+        with pytest.raises(ContractViolation, match="marking bound"):
+            check_sparsifier_degree(corrupt, 2)
+
+    def test_duplicate_mark_rejected(self):
+        g = _path_graph(6)
+        honest = build_sparsifier(g, 2, seed=0)
+        corrupt = SparsifierResult(
+            subgraph=honest.subgraph,
+            marked_by=((1, 1),) + honest.marked_by[1:],
+            delta=2,
+        )
+        with pytest.raises(ContractViolation, match="twice"):
+            check_sparsifier_degree(corrupt, 2)
+
+    def test_non_neighbor_mark_rejected_with_graph(self):
+        g = _path_graph(6)
+        honest = build_sparsifier(g, 2, seed=0)
+        corrupt = SparsifierResult(
+            subgraph=honest.subgraph,
+            marked_by=((5,),) + honest.marked_by[1:],  # 5 not adjacent to 0
+            delta=2,
+        )
+        with pytest.raises(ContractViolation, match="non-neighbor"):
+            check_sparsifier_degree(corrupt, 2, graph=g)
+
+    def test_bounded_degree_graph_form(self):
+        star = from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert check_sparsifier_degree(star, 3) is star
+        with pytest.raises(ContractViolation, match="max degree"):
+            check_sparsifier_degree(star, 2)
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ContractViolation, match="delta"):
+            check_sparsifier_degree(_path_graph(3), 0)
+
+
+@pytest.mark.fast
+class TestFacadeGating:
+    """REPRO_CONTRACTS=1 makes the facade self-check; unset skips."""
+
+    def test_sparsify_checked_and_clean(self, monkeypatch):
+        monkeypatch.setenv(CONTRACTS_ENV, "1")
+        g = clique_union(6, 10)
+        result = sparsify(g, beta=1, epsilon=0.3, seed=0)
+        assert result.delta >= 1  # checks ran and did not raise
+
+    def test_approx_mcm_checked_and_clean(self, monkeypatch):
+        monkeypatch.setenv(CONTRACTS_ENV, "1")
+        g = clique_union(6, 10)
+        run = approx_mcm(g, beta=1, epsilon=0.3, seed=0)
+        assert run.matching.is_valid_for(g)
+
+    def test_facade_check_actually_executes(self, monkeypatch):
+        calls = []
+
+        def spy(graph, matching):
+            calls.append(matching)
+            return matching
+
+        monkeypatch.setenv(CONTRACTS_ENV, "1")
+        monkeypatch.setattr("repro.api.check_matching", spy)
+        g = clique_union(4, 8)
+        approx_mcm(g, beta=1, epsilon=0.5, seed=0)
+        assert len(calls) == 1
+
+    def test_facade_skips_when_disabled(self, monkeypatch):
+        calls = []
+        monkeypatch.delenv(CONTRACTS_ENV, raising=False)
+        monkeypatch.setattr(
+            "repro.api.check_matching",
+            lambda graph, matching: calls.append(matching),
+        )
+        g = clique_union(4, 8)
+        approx_mcm(g, beta=1, epsilon=0.5, seed=0)
+        assert calls == []
+
+    def test_corrupted_backend_result_rejected(self, monkeypatch):
+        """If a backend ever emitted an invalid matching, the gate trips."""
+        monkeypatch.setenv(CONTRACTS_ENV, "1")
+        g = clique_union(4, 8)
+        phantom = Matching.from_edges(g.num_vertices, [])
+        mate = phantom.mate.copy()
+        # Force a matched pair across cliques (no such edge in the graph).
+        mate[0], mate[g.num_vertices - 1] = g.num_vertices - 1, 0
+        bad = Matching(mate)
+        assert not g.has_edge(0, g.num_vertices - 1)
+        with pytest.raises(ContractViolation):
+            check_matching(g, bad)

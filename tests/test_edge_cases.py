@@ -5,7 +5,6 @@ isolated vertices, extreme ε, and adversarial structures — the inputs
 that break implementations whose happy paths all pass.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.delta import DeltaPolicy
