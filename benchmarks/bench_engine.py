@@ -31,9 +31,11 @@ from repro.graphs.generators import clique_union
 
 
 def _timed(fn, *args, **kwargs):
-    start = time.perf_counter()
+    # Wall-clock is the *measurand* of this benchmark, not hidden
+    # nondeterminism leaking into results — hence the R2 pragmas.
+    start = time.perf_counter()  # repro-lint: ignore[R2]
     value = fn(*args, **kwargs)
-    return value, time.perf_counter() - start
+    return value, time.perf_counter() - start  # repro-lint: ignore[R2]
 
 
 def bench_e1(workers: int) -> dict:

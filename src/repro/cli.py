@@ -7,6 +7,7 @@ Usage::
     repro-experiments all --workers auto   # experiments run concurrently
     repro-experiments --list          # enumerate experiment ids
     repro-experiments lint src tests  # determinism/invariant linter
+    repro-experiments rng-audit src   # RNG stream-flow audit (R6-R9)
 
 Parallelism is deterministic: for a fixed ``--seed``, tables are
 identical at any ``--workers`` value (per-trial RNGs are spawned from
@@ -48,6 +49,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "rng-audit":
+        from repro.lint.cli import audit_main
+
+        return audit_main(argv[1:])
     ids = _experiment_ids()
     id_range = f"{ids[0]}..{ids[-1]}"
     parser = argparse.ArgumentParser(
@@ -60,7 +65,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help=f"experiment id ({id_range}), 'all', or the 'lint' subcommand",
+        help=f"experiment id ({id_range}), 'all', or the 'lint' / "
+             "'rng-audit' subcommands",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"

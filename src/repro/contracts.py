@@ -162,11 +162,42 @@ def check_sparsifier_degree(
     return sparsifier
 
 
+def check_stream_fingerprints(fingerprints) -> list:
+    """Assert no two tasks drew from one RNG stream.
+
+    ``fingerprints`` is the per-task sequence ``engine.execute`` collects
+    under ``REPRO_RNG_SANITIZE=1`` — each entry an
+    :class:`~repro.instrument.rng.RngFingerprint` or ``None`` (task had
+    no generator).  Two entries sharing a stream id where either made a
+    draw means two trials consumed one spawn-key stream: draw
+    interleaving (and therefore worker count) decides the results, which
+    is exactly the race Observation 2.9's independence argument and the
+    engine's byte-identical promise forbid.
+    """
+    fingerprint_list = list(fingerprints)
+    first_seen: dict[str, int] = {}
+    for index, fingerprint in enumerate(fingerprint_list):
+        if fingerprint is None:
+            continue
+        earlier = first_seen.setdefault(fingerprint.stream, index)
+        if earlier != index:
+            other = fingerprint_list[earlier]
+            if fingerprint.draws or (other is not None and other.draws):
+                _fail(
+                    f"tasks {earlier} and {index} drew from one RNG stream "
+                    f"{fingerprint.stream!r} ({other.draws} and "
+                    f"{fingerprint.draws} draws); every task must own its "
+                    "spawned child generator (see engine.fanout)"
+                )
+    return fingerprint_list
+
+
 __all__ = [
     "CONTRACTS_ENV",
     "ContractViolation",
     "check_matching",
     "check_sparsifier_degree",
+    "check_stream_fingerprints",
     "check_subgraph",
     "contracts_enabled",
 ]

@@ -39,7 +39,7 @@ from repro.distributed.sparsify_round import SparsifierProtocol
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
 from repro.instrument.counters import CounterSet
-from repro.instrument.rng import derive_rng, resolve_rng
+from repro.instrument.rng import resolve_rng
 from repro.matching.matching import Matching
 
 
@@ -79,7 +79,7 @@ def _run_stages(
     improve: bool,
     max_rounds: int,
 ) -> DistributedRunReport:
-    gen = derive_rng(rng)
+    gen = resolve_rng(rng=rng, owner="_run_stages")
     metrics = CounterSet()
     pol = policy or DeltaPolicy.practical()
     delta = pol.delta(beta, epsilon, graph.num_vertices)

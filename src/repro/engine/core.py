@@ -36,13 +36,20 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Literal, Sequence, TypeAlias
 
 import numpy as np
 
 from repro.instrument.counters import CounterSet
-from repro.instrument.rng import resolve_rng, spawn_rngs
+from repro.instrument.rng import (
+    RngFingerprint,
+    SanitizedGenerator,
+    resolve_rng,
+    rng_sanitize_enabled,
+    sanitize_rng,
+    spawn_rngs,
+)
 
 WorkerSpec: TypeAlias = int | Literal["auto"]
 
@@ -132,7 +139,9 @@ def _init_worker(context: Any) -> None:
     _WORKER_CONTEXT = context
 
 
-def _run_task(task: TrialTask, context: Any) -> tuple[Any, CounterSet | None]:
+def _run_task(
+    task: TrialTask, context: Any
+) -> tuple[Any, CounterSet | None, RngFingerprint | None]:
     kwargs = dict(task.kwargs)
     if task.rng is not None:
         kwargs["rng"] = task.rng
@@ -142,10 +151,15 @@ def _run_task(task: TrialTask, context: Any) -> tuple[Any, CounterSet | None]:
     if task.wants_metrics:
         metrics = CounterSet()
         kwargs["metrics"] = metrics
-    return task.fn(*task.args, **kwargs), metrics
+    value = task.fn(*task.args, **kwargs)
+    fingerprint = (task.rng.fingerprint()
+                   if isinstance(task.rng, SanitizedGenerator) else None)
+    return value, metrics, fingerprint
 
 
-def _pool_entry(task: TrialTask) -> tuple[Any, CounterSet | None]:
+def _pool_entry(
+    task: TrialTask,
+) -> tuple[Any, CounterSet | None, RngFingerprint | None]:
     return _run_task(task, _WORKER_CONTEXT)
 
 
@@ -155,6 +169,7 @@ def execute(
     workers: WorkerSpec = 1,
     metrics: CounterSet | None = None,
     context: Any = None,
+    fingerprints: list[RngFingerprint | None] | None = None,
 ) -> list[Any]:
     """Run every task and return their results in task order.
 
@@ -174,6 +189,20 @@ def execute(
         Optional object broadcast once per worker (via the pool
         initializer) to every task flagged ``wants_context`` — use for
         a graph shared by all trials instead of shipping it per task.
+    fingerprints:
+        Optional out-list.  Under ``REPRO_RNG_SANITIZE=1`` the engine
+        wraps every task generator in a
+        :class:`~repro.instrument.rng.SanitizedGenerator` and appends
+        one :class:`~repro.instrument.rng.RngFingerprint` (or ``None``
+        for rng-less tasks) per task, in task order — the sequence is
+        identical for every worker count, which is what the equivalence
+        tests assert.
+
+    Under ``REPRO_RNG_SANITIZE=1`` the collected fingerprints are also
+    checked for stream races (two tasks drawing from one spawn-key
+    stream) via
+    :func:`repro.contracts.check_stream_fingerprints`, raising
+    :class:`~repro.contracts.ContractViolation` on a hit.
 
     Returns
     -------
@@ -181,6 +210,13 @@ def execute(
         ``fn`` return values, one per task, in submission order.
     """
     task_list = list(tasks)
+    sanitize = rng_sanitize_enabled()
+    if sanitize:
+        task_list = [
+            replace(task, rng=sanitize_rng(task.rng))
+            if task.rng is not None else task
+            for task in task_list
+        ]
     count = resolve_workers(workers)
     if count == 1 or len(task_list) <= 1:
         outcomes = [_run_task(task, context) for task in task_list]
@@ -192,8 +228,18 @@ def execute(
         ) as pool:
             outcomes = list(pool.map(_pool_entry, task_list))
     results: list[Any] = []
-    for value, task_metrics in outcomes:
+    collected: list[RngFingerprint | None] = []
+    for value, task_metrics, fingerprint in outcomes:
         if metrics is not None and task_metrics is not None:
             metrics.merge(task_metrics)
         results.append(value)
+        collected.append(fingerprint)
+    if sanitize:
+        # Imported lazily: contracts pulls in the graph/matching stack,
+        # which the engine does not otherwise depend on.
+        from repro.contracts import check_stream_fingerprints
+
+        check_stream_fingerprints(collected)
+    if fingerprints is not None:
+        fingerprints.extend(collected)
     return results

@@ -22,7 +22,7 @@ from repro.engine.core import TrialTask, execute
 from repro.experiments.tables import Table
 from repro.graphs.builder import from_edges
 from repro.graphs.generators.cliques import clique, clique_union
-from repro.instrument.rng import derive_rng, spawn_rngs
+from repro.instrument.rng import resolve_rng, spawn_rngs
 from repro.matching.blossom import mcm_exact
 
 
@@ -33,7 +33,7 @@ def _mutual_sparsifier(graph, delta, rng=None):
     first Δ adjacency entries (Solomon's "arbitrary marks", which §3.2
     says is fine for bounded arboricity but fails for bounded β).
     """
-    gen = derive_rng(rng) if rng is not None else None
+    gen = resolve_rng(rng=rng) if rng is not None else None
     marks = []
     for v in range(graph.num_vertices):
         nbrs = graph.neighbors_array(v)

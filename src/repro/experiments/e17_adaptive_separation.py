@@ -25,7 +25,7 @@ from repro.dynamic.oblivious import ObliviousDynamicMatching
 from repro.engine.core import TrialTask, execute
 from repro.experiments.tables import Table
 from repro.graphs.generators.cliques import clique_union
-from repro.instrument.rng import spawn_rngs
+from repro.instrument.rng import rng_from_spec, rng_spec, spawn_rngs
 from repro.matching.blossom import mcm_exact
 
 _ALGORITHMS = {
@@ -50,19 +50,21 @@ def _worst_ratio(alg, adversary, steps: int, probe_every: int = 100) -> float:
 
 def _stream_trial(
     alg_name: str, adv_kind: str, clique_size: int, num_cliques: int,
-    steps: int, epsilon: float, rng_alg, rng_adv,
+    steps: int, epsilon: float, spec_alg, spec_adv,
 ) -> float:
     """One full update-stream trial; returns its worst observed ratio.
 
     The host universe is rebuilt in the worker (deterministic, tiny);
-    the algorithm's and the adversary's generators are pre-spawned by
+    the algorithm's and the adversary's streams arrive as
+    :class:`~repro.instrument.rng.RngSpec` records (rule R8) spawned by
     the parent in the historical order (algorithm first, adversary
     second), so the replayed streams match the serial implementation.
     """
     host = clique_union(num_cliques, clique_size)
     universe = list(host.edges())
     n = host.num_vertices
-    alg = _ALGORITHMS[alg_name](n, 1, epsilon, rng=rng_alg)
+    rng_adv = rng_from_spec(spec_adv)
+    alg = _ALGORITHMS[alg_name](n, 1, epsilon, rng=rng_from_spec(spec_alg))
     if adv_kind == "adaptive":
         adversary = AdaptiveAdversary(
             universe, observe=lambda: alg.matching,
@@ -111,7 +113,8 @@ def run(
                         "clique_size": clique_size,
                         "num_cliques": num_cliques, "steps": steps,
                         "epsilon": epsilon,
-                        "rng_alg": rng_alg, "rng_adv": rng_adv},
+                        "spec_alg": rng_spec(rng_alg),
+                        "spec_adv": rng_spec(rng_adv)},
             ))
     ratios = execute(tasks, workers=workers)
     for i, (alg_name, adv_kind) in enumerate(cells):

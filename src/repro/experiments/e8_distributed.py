@@ -19,7 +19,7 @@ from repro.engine.core import TrialTask, execute
 from repro.experiments.tables import Table
 from repro.graphs.builder import from_edges
 from repro.graphs.generators.cliques import clique_union
-from repro.instrument.rng import spawn_rngs
+from repro.instrument.rng import rng_from_spec, rng_spec, spawn_rngs
 from repro.matching.blossom import mcm_exact
 
 
@@ -43,20 +43,21 @@ def trap_graph(num_cliques: int, clique_size: int, num_paths: int):
 
 def _pair_row(
     num_cliques: int, clique_size: int, num_paths: int, epsilon: float,
-    rng_ours, rng_base,
+    spec_ours, spec_base,
 ) -> tuple:
     """Run ours + baseline on one network; returns a finished table row.
 
-    The two pipelines take pre-spawned generators (passed explicitly so
-    the parent's spawn sequence matches the historical serial loop —
-    ours first, then the baseline).
+    The two pipelines take pre-spawned streams shipped as
+    :class:`~repro.instrument.rng.RngSpec` records (rebuilt here inside
+    the worker — rule R8) whose spawn order matches the historical
+    serial loop: ours first, then the baseline.
     """
     graph = trap_graph(num_cliques, clique_size, num_paths=num_paths)
     opt = mcm_exact(graph).size
     ours = distributed_approx_matching(graph, beta=2, epsilon=epsilon,
-                                       rng=rng_ours)
+                                       rng=rng_from_spec(spec_ours))
     base = distributed_baseline_matching(graph, beta=2, epsilon=epsilon,
-                                         rng=rng_base)
+                                         rng=rng_from_spec(spec_base))
     ours_ratio = opt / ours.matching.size if ours.matching.size else float("inf")
     base_ratio = opt / base.matching.size if base.matching.size else float("inf")
     return (
@@ -88,8 +89,8 @@ def run(
             fn=_pair_row,
             kwargs={"num_cliques": k, "clique_size": clique_size,
                     "num_paths": 5 * k, "epsilon": epsilon,
-                    "rng_ours": children[2 * i],
-                    "rng_base": children[2 * i + 1]},
+                    "spec_ours": rng_spec(children[2 * i]),
+                    "spec_base": rng_spec(children[2 * i + 1])},
         )
         for i, k in enumerate(sizes)
     ]

@@ -7,14 +7,34 @@ experiments are reproducible bit-for-bit given a seed.
 """
 
 from repro.instrument.counters import Counter, CounterSet
-from repro.instrument.rng import derive_rng, resolve_rng, spawn_rngs
+from repro.instrument.rng import (
+    RngFingerprint,
+    RngSpec,
+    SanitizedGenerator,
+    derive_rng,
+    resolve_rng,
+    rng_from_spec,
+    rng_sanitize_enabled,
+    rng_spec,
+    sanitize_rng,
+    spawn_rngs,
+    stream_id,
+)
 from repro.instrument.timers import Timer
 
 __all__ = [
     "Counter",
     "CounterSet",
+    "RngFingerprint",
+    "RngSpec",
+    "SanitizedGenerator",
     "Timer",
     "derive_rng",
     "resolve_rng",
+    "rng_from_spec",
+    "rng_sanitize_enabled",
+    "rng_spec",
+    "sanitize_rng",
     "spawn_rngs",
+    "stream_id",
 ]

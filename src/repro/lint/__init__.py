@@ -1,24 +1,30 @@
-"""Determinism & invariant linter for the reproduction (rules R1-R5).
+"""Determinism & invariant linter for the reproduction (rules R1-R9).
 
 The paper's guarantees are only reproducible if every random bit flows
 through the package's ``seed=``/``rng=`` convention and every engine
 trial stays byte-deterministic.  This package enforces those properties
 mechanically with a stdlib-``ast`` static analysis:
 
-* :data:`~repro.lint.rules.RULES` — the rule registry (R1 global-state
-  randomness, R2 wall-clock reads, R3 engine-task purity, R4 seed/rng
-  signature conformance, R5 order discipline);
+* :data:`~repro.lint.rules.RULES` — the rule registry: syntactic rules
+  (R1 global-state randomness, R2 wall-clock reads, R3 engine-task
+  purity, R4 seed/rng signature conformance, R5 order discipline) plus
+  the interprocedural RNG-flow rules (R6 stream reuse, R7 generator
+  escape, R8 process-boundary crossing, R9 draw-order hazard) computed
+  by :mod:`repro.lint.flow` over a whole-program
+  :class:`~repro.lint.callgraph.Program`;
 * :func:`~repro.lint.runner.lint_paths` / ``lint_file`` /
   ``lint_source`` — the library entry points;
-* ``repro-experiments lint`` — the CLI (see :mod:`repro.lint.cli`).
+* ``repro-experiments lint`` and ``repro-experiments rng-audit`` — the
+  CLIs (see :mod:`repro.lint.cli`).
 
 Suppress a finding per line with ``# repro-lint: ignore[R4]`` (or bare
 ``ignore`` for all rules).  See ``docs/LINTING.md`` for the catalogue.
 """
 
-from repro.lint.rules import RULES, Rule, RuleContext
+from repro.lint.rules import FLOW_RULES, RULES, Rule, RuleContext
 from repro.lint.runner import (
     discover_files,
+    format_github,
     format_json,
     format_text,
     lint_file,
@@ -28,12 +34,14 @@ from repro.lint.runner import (
 from repro.lint.violations import Violation, collect_pragmas
 
 __all__ = [
+    "FLOW_RULES",
     "RULES",
     "Rule",
     "RuleContext",
     "Violation",
     "collect_pragmas",
     "discover_files",
+    "format_github",
     "format_json",
     "format_text",
     "lint_file",

@@ -1,0 +1,219 @@
+"""Module index and call-resolution layer for the RNG-flow pass.
+
+The single-file rules R1-R5 see one parsed module at a time; the flow
+rules R6-R9 (:mod:`repro.lint.flow`) need to answer *cross-module*
+questions — "does this imported helper return a live ``Generator``?" —
+before they can track a stream through a function body.  This module
+builds that context:
+
+* :class:`ModuleInfo` — one parsed module plus its import map and the
+  function/class definitions it hosts;
+* :class:`Program` — the set of modules being linted together, with
+  dotted-name resolution (``np.random.default_rng`` →
+  ``numpy.random.default_rng``) and *generator summaries*: the fixpoint
+  sets of fully-qualified callables known to return a
+  ``numpy.random.Generator`` (or a list of them).
+
+Everything here is stdlib-``ast`` only; the analysis never imports the
+code it inspects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Iterable
+
+#: Callables known to return one live ``Generator`` regardless of input.
+#: ``resolve_rng``/``derive_rng`` additionally *alias* a generator passed
+#: in (flow.py special-cases that); listing them here covers the
+#: seed-integer call shapes.
+GEN_RETURNING_BASE = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "repro.instrument.rng.derive_rng",
+    "repro.instrument.rng.resolve_rng",
+    "repro.instrument.rng.sanitize_rng",
+    "repro.instrument.rng.SanitizedGenerator",
+})
+
+#: Callables known to return a list of independent child generators.
+GENLIST_RETURNING_BASE = frozenset({
+    "repro.instrument.rng.spawn_rngs",
+})
+
+#: Annotation spellings recognised as "this parameter is a Generator".
+GENERATOR_ANNOTATIONS = frozenset({
+    "Generator", "np.random.Generator", "numpy.random.Generator",
+    "SanitizedGenerator",
+})
+
+
+def module_name_for_path(path: str) -> str:
+    """Derive a dotted module name from a file path.
+
+    Files under a ``repro`` package directory get their real dotted name
+    (so imports resolve across the package); anything else — tests,
+    benchmarks, examples, ``<string>`` snippets — is named by its stem,
+    which keeps single-file analysis self-consistent.
+    """
+    parts = PurePath(path).parts
+    if "repro" in parts:
+        tail = list(parts[len(parts) - 1 - parts[::-1].index("repro"):])
+        tail[-1] = PurePath(tail[-1]).stem
+        if tail[-1] == "__init__":
+            tail.pop()
+        return ".".join(tail)
+    return PurePath(path).stem
+
+
+def _import_map(tree: ast.Module, module_name: str) -> dict[str, str]:
+    """Map local names to the fully qualified targets they import."""
+    out: dict[str, str] = {}
+    package = module_name.rpartition(".")[0]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    out[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds the name ``a``.
+                    head = alias.name.split(".")[0]
+                    out[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Resolve ``from .rng import x`` against this module's
+                # package; one level strips nothing further, each extra
+                # level strips one trailing component.
+                anchor = package
+                for _ in range(node.level - 1):
+                    anchor = anchor.rpartition(".")[0]
+                base = f"{anchor}.{base}" if base else anchor
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                out[alias.asname or alias.name] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+    return out
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus the lookup tables the flow pass needs."""
+
+    path: str
+    name: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+    #: qualname within the module (``fn`` or ``Class.fn``) -> definition.
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, path: str, tree: ast.Module) -> "ModuleInfo":
+        """Index one parsed module (imports, functions, classes)."""
+        name = module_name_for_path(path)
+        info = cls(path=path, name=name, tree=tree,
+                   imports=_import_map(tree, name))
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                info.classes[node.name] = node
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        info.functions[f"{node.name}.{item.name}"] = item
+        return info
+
+    def resolve(self, dotted: str) -> str:
+        """Expand a local dotted name to its fully qualified form.
+
+        ``np.random.default_rng`` resolves through the import map to
+        ``numpy.random.default_rng``; a bare local function name resolves
+        to ``<module>.<name>``; anything unknown comes back unchanged.
+        """
+        head, _, rest = dotted.partition(".")
+        target = self.imports.get(head)
+        if target is not None:
+            return f"{target}.{rest}" if rest else target
+        if head in self.functions and not rest:
+            return f"{self.name}.{head}"
+        return dotted
+
+
+class Program:
+    """The whole set of modules linted together, with generator summaries.
+
+    Attributes
+    ----------
+    modules:
+        Dotted module name -> :class:`ModuleInfo`.
+    by_path:
+        Path string (as given to the runner) -> :class:`ModuleInfo`.
+    returns_generator / returns_generator_list:
+        Fully-qualified callables whose return value is one ``Generator``
+        / a list of generators — the base knowledge plus everything the
+        fixpoint in :func:`compute_summaries` discovered in user code.
+    """
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_path: dict[str, ModuleInfo] = {}
+        for info in modules:
+            self.modules[info.name] = info
+            self.by_path[info.path] = info
+        self.returns_generator: set[str] = set(GEN_RETURNING_BASE)
+        self.returns_generator_list: set[str] = set(GENLIST_RETURNING_BASE)
+        #: flow.py's per-module analysis cache (path -> ModuleFlow).
+        self.flow_cache: dict[str, object] = {}
+        compute_summaries(self)
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, tuple[ast.Module, str]]
+                     ) -> "Program":
+        """Build a program from ``{path: (tree, source)}``."""
+        return cls(ModuleInfo.build(path, tree)
+                   for path, (tree, _source) in sources.items())
+
+    def module_for(self, path: str) -> ModuleInfo | None:
+        """The indexed module for a runner path, if it was parsed."""
+        return self.by_path.get(path)
+
+
+def compute_summaries(program: Program, max_rounds: int = 5) -> None:
+    """Fixpoint the generator-returning summaries over user functions.
+
+    A function is *generator-returning* if any of its ``return``
+    expressions types to GEN under the flow typer given the summaries so
+    far (similarly for generator lists).  Rounds are bounded: summaries
+    only grow, and call chains deeper than ``max_rounds`` through
+    generator-returning helpers do not occur in practice.
+    """
+    # Imported here to break the import cycle (flow.py needs Program for
+    # its expression typer).
+    from repro.lint import flow
+
+    for _ in range(max_rounds):
+        changed = False
+        for info in program.modules.values():
+            for qualname, fndef in info.functions.items():
+                full = f"{info.name}.{qualname}"
+                if full in program.returns_generator and \
+                        full in program.returns_generator_list:
+                    continue
+                kind = flow.infer_return_kind(program, info, fndef)
+                if kind is flow.GEN and full not in program.returns_generator:
+                    program.returns_generator.add(full)
+                    changed = True
+                elif kind is flow.GENLIST and \
+                        full not in program.returns_generator_list:
+                    program.returns_generator_list.add(full)
+                    changed = True
+        if not changed:
+            break

@@ -1,15 +1,25 @@
-"""The ``repro-experiments lint`` subcommand.
+"""The ``repro-experiments lint`` and ``rng-audit`` subcommands.
 
 Usage::
 
     repro-experiments lint                       # lint src and tests
     repro-experiments lint src/repro/core        # lint a subtree
     repro-experiments lint --format json src     # CI-friendly output
+    repro-experiments lint --format github src   # Actions annotations
     repro-experiments lint --select R1,R4 src    # subset of rules
     repro-experiments lint --explain             # print the rule table
 
-Exit status: 0 clean, 1 violations found, 2 usage error — so the command
-drops straight into CI and pre-commit hooks.
+    repro-experiments rng-audit src              # flow rules R6-R9 only
+
+``rng-audit`` is the whole-program RNG stream audit: it runs exactly the
+interprocedural flow rules (stream reuse / generator escape /
+process-boundary crossing / draw-order hazard) and nothing else — the
+static half of the ``REPRO_RNG_SANITIZE=1`` runtime sanitizer.  It
+shares the lint machinery, so pragmas, formats, and exit codes behave
+identically.
+
+Exit status: 0 clean, 1 violations found, 2 usage error — so both
+commands drop straight into CI and pre-commit hooks.
 """
 
 from __future__ import annotations
@@ -17,57 +27,71 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.lint.rules import RULES
-from repro.lint.runner import format_json, format_text, lint_paths
+from repro.lint.rules import FLOW_RULES, RULES, Rule
+from repro.lint.runner import (
+    format_github,
+    format_json,
+    format_text,
+    lint_paths,
+)
+
+#: ``--format`` name -> formatter.
+_FORMATS = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+}
 
 
-def _explain() -> str:
+def _explain(rules: dict[str, Rule]) -> str:
     """Render the rule table (kept in sync with docs/LINTING.md)."""
-    width = max(len(rule.title) for rule in RULES.values())
+    width = max(len(rule.title) for rule in rules.values())
     return "\n".join(
         f"{rule.code}  {rule.title:<{width}}  {rule.summary}"
-        for rule in RULES.values()
+        for rule in rules.values()
     )
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Parse lint arguments, run the rules, print the report."""
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments lint",
-        description="AST determinism & invariant linter (rules R1-R5; "
-                    "suppress per line with `# repro-lint: ignore[R..]`).",
-    )
+def _build_parser(prog: str, description: str,
+                  catalogue: dict[str, Rule]) -> argparse.ArgumentParser:
+    """The shared option surface of ``lint`` and ``rng-audit``."""
+    parser = argparse.ArgumentParser(prog=prog, description=description)
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests"],
-        help="files or directories to lint (default: src tests)",
+        help="files or directories to check (default: src tests)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default text)",
+        "--format", choices=tuple(_FORMATS), default="text",
+        help="report format (default text; github emits Actions "
+             "::error annotations)",
     )
     parser.add_argument(
         "--select", metavar="RULES", default=None,
-        help="comma-separated rule codes to run (default: all)",
+        help="comma-separated rule codes to run "
+             f"(default: all of {', '.join(catalogue)})",
     )
     parser.add_argument(
         "--explain", action="store_true",
         help="print the rule catalogue and exit",
     )
-    args = parser.parse_args(argv)
+    return parser
 
+
+def _run(args: argparse.Namespace, catalogue: dict[str, Rule]) -> int:
+    """Select rules, lint, format, exit-code — shared by both commands."""
     if args.explain:
-        print(_explain())
+        print(_explain(catalogue))
         return 0
 
-    rules = None
+    rules = list(catalogue.values())
     if args.select is not None:
         codes = [c.strip().upper() for c in args.select.split(",") if c.strip()]
-        unknown = [c for c in codes if c not in RULES]
+        unknown = [c for c in codes if c not in catalogue]
         if unknown:
-            print(f"unknown rule codes {unknown}; known: {sorted(RULES)}",
+            print(f"unknown rule codes {unknown}; known: {sorted(catalogue)}",
                   file=sys.stderr)
             return 2
-        rules = [RULES[c] for c in codes]
+        rules = [catalogue[c] for c in codes]
 
     try:
         violations = lint_paths(args.paths, rules)
@@ -79,10 +103,31 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
-    report = (format_json(violations) if args.format == "json"
-              else format_text(violations))
-    print(report)
+    print(_FORMATS[args.format](violations))
     return 1 if violations else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse lint arguments, run every rule, print the report."""
+    parser = _build_parser(
+        "repro-experiments lint",
+        "AST determinism & invariant linter (rules R1-R9; suppress per "
+        "line with `# repro-lint: ignore[R..]`).",
+        RULES,
+    )
+    return _run(parser.parse_args(argv), RULES)
+
+
+def audit_main(argv: list[str] | None = None) -> int:
+    """Parse rng-audit arguments, run the flow rules, print the report."""
+    parser = _build_parser(
+        "repro-experiments rng-audit",
+        "Whole-program RNG stream audit (flow rules R6-R9: stream "
+        "reuse, generator escape, process-boundary crossing, draw-order "
+        "hazard).",
+        FLOW_RULES,
+    )
+    return _run(parser.parse_args(argv), FLOW_RULES)
 
 
 if __name__ == "__main__":  # pragma: no cover

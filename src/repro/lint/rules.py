@@ -1,4 +1,4 @@
-"""The rule catalogue: five AST checks behind one registry.
+"""The rule catalogue: nine checks behind one registry.
 
 Each rule is a pure function from a parsed module to a list of
 :class:`~repro.lint.violations.Violation`.  The registry drives the
@@ -30,16 +30,31 @@ R5
     Order discipline.  No mutable default arguments anywhere; no
     iteration over set expressions in ``experiments/``/``engine/`` —
     set order feeds tables, and tables must be byte-deterministic.
+
+R6-R9 are the *flow* rules: instead of judging one statement, they run
+the whole-program RNG-flow pass of :mod:`repro.lint.flow` (stream reuse,
+generator escape, process-boundary crossing, draw-order hazard).  See
+that module's docstring for the semantics and ``docs/LINTING.md`` for
+worked examples.
+
+Rules R1-R5 read the parsed module through :meth:`RuleContext.nodes`, a
+node index built with **one** ``ast.walk`` per file and shared by every
+rule — the pre-1.3 runner re-walked the full tree once per rule
+(``benchmarks/bench_lint.py`` measures the difference).
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import cached_property
 from pathlib import PurePath
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.lint.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lint.callgraph import Program
 
 #: ``np.random`` attributes that are constructors/types, not the legacy
 #: global-state API (calling these is fine; ``np.random.rand`` etc. is not).
@@ -87,11 +102,17 @@ class RuleContext:
     source:
         Raw file text (rules rarely need it; pragmas are handled by the
         runner, not per rule).
+    program:
+        The :class:`~repro.lint.callgraph.Program` this module was linted
+        with, when the runner linted several files together.  The flow
+        rules use it to resolve cross-module helpers; ``None`` makes them
+        fall back to a private single-module program.
     """
 
     path: str
     tree: ast.Module
     source: str
+    program: "Program | None" = field(default=None, compare=False)
 
     @property
     def parts(self) -> tuple[str, ...]:
@@ -101,6 +122,23 @@ class RuleContext:
     def is_module(self, *suffix: str) -> bool:
         """Whether the file path ends with the given components."""
         return self.parts[-len(suffix):] == suffix
+
+    @cached_property
+    def _buckets(self) -> dict[type, list[ast.AST]]:
+        """Node lists bucketed by type — one ``ast.walk`` for all rules."""
+        buckets: dict[type, list[ast.AST]] = {}
+        for node in ast.walk(self.tree):
+            buckets.setdefault(type(node), []).append(node)
+        return buckets
+
+    def nodes(self, *types: type) -> list[ast.AST]:
+        """All nodes of the given AST types, from the shared index."""
+        if len(types) == 1:
+            return self._buckets.get(types[0], [])
+        out: list[ast.AST] = []
+        for t in types:
+            out.extend(self._buckets.get(t, []))
+        return out
 
 
 @dataclass(frozen=True)
@@ -117,12 +155,16 @@ class Rule:
         One-line description rendered by ``lint --explain`` and the docs.
     check:
         The implementation: ``RuleContext -> list[Violation]``.
+    flow:
+        Whether this is a whole-program flow rule (R6-R9) — the set the
+        ``rng-audit`` subcommand runs.
     """
 
     code: str
     title: str
     summary: str
     check: Callable[[RuleContext], list[Violation]]
+    flow: bool = False
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -137,45 +179,41 @@ def _dotted(node: ast.AST) -> str | None:
     return ".".join(reversed(parts))
 
 
-def _numpy_aliases(tree: ast.Module) -> set[str]:
+def _numpy_aliases(ctx: RuleContext) -> set[str]:
     """Names the module binds to the ``numpy`` package (``np`` by idiom)."""
     aliases = {"numpy"}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name == "numpy":
-                    aliases.add(alias.asname or "numpy")
+    for node in ctx.nodes(ast.Import):
+        for alias in node.names:
+            if alias.name == "numpy":
+                aliases.add(alias.asname or "numpy")
     return aliases
 
 
-def _stdlib_random_aliases(tree: ast.Module) -> set[str]:
+def _stdlib_random_aliases(ctx: RuleContext) -> set[str]:
     """Names the module binds to the stdlib ``random`` module."""
     aliases: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name == "random":
-                    aliases.add(alias.asname or "random")
+    for node in ctx.nodes(ast.Import):
+        for alias in node.names:
+            if alias.name == "random":
+                aliases.add(alias.asname or "random")
     return aliases
 
 
 def _check_r1(ctx: RuleContext) -> list[Violation]:
     """R1 — no global-state randomness."""
     in_rng_module = ctx.is_module("instrument", "rng.py")
-    np_aliases = _numpy_aliases(ctx.tree)
-    random_aliases = _stdlib_random_aliases(ctx.tree)
+    np_aliases = _numpy_aliases(ctx)
+    random_aliases = _stdlib_random_aliases(ctx)
     out: list[Violation] = []
 
     def flag(node: ast.AST, message: str) -> None:
         out.append(Violation(ctx.path, node.lineno, node.col_offset, "R1", message))
 
-    for node in ast.walk(ctx.tree):
-        if isinstance(node, ast.ImportFrom) and node.module == "random":
+    for node in ctx.nodes(ast.ImportFrom):
+        if node.module == "random":
             flag(node, "stdlib `random` import; use a seeded "
                        "numpy.random.Generator via the seed=/rng= convention")
-            continue
-        if not isinstance(node, ast.Call):
-            continue
+    for node in ctx.nodes(ast.Call):
         name = _dotted(node.func)
         if name is None:
             continue
@@ -200,27 +238,25 @@ def _check_r2(ctx: RuleContext) -> list[Violation]:
     if ctx.is_module("instrument", "timers.py"):
         return []
     out: list[Violation] = []
-    for node in ast.walk(ctx.tree):
-        if isinstance(node, ast.ImportFrom):
-            banned = _NONDETERMINISTIC_IMPORTS.get(node.module or "")
-            if banned:
-                for alias in node.names:
-                    if alias.name in banned:
-                        out.append(Violation(
-                            ctx.path, node.lineno, node.col_offset, "R2",
-                            f"nondeterministic import `from {node.module} "
-                            f"import {alias.name}`; wall-clock reads belong "
-                            "in repro/instrument/timers.py",
-                        ))
-            continue
-        if isinstance(node, ast.Call):
-            name = _dotted(node.func)
-            if name in _NONDETERMINISTIC_CALLS:
-                out.append(Violation(
-                    ctx.path, node.lineno, node.col_offset, "R2",
-                    f"nondeterministic `{name}()` call; use "
-                    "repro.instrument.timers (counts over clocks)",
-                ))
+    for node in ctx.nodes(ast.ImportFrom):
+        banned = _NONDETERMINISTIC_IMPORTS.get(node.module or "")
+        if banned:
+            for alias in node.names:
+                if alias.name in banned:
+                    out.append(Violation(
+                        ctx.path, node.lineno, node.col_offset, "R2",
+                        f"nondeterministic import `from {node.module} "
+                        f"import {alias.name}`; wall-clock reads belong "
+                        "in repro/instrument/timers.py",
+                    ))
+    for node in ctx.nodes(ast.Call):
+        name = _dotted(node.func)
+        if name in _NONDETERMINISTIC_CALLS:
+            out.append(Violation(
+                ctx.path, node.lineno, node.col_offset, "R2",
+                f"nondeterministic `{name}()` call; use "
+                "repro.instrument.timers (counts over clocks)",
+            ))
     return out
 
 
@@ -266,16 +302,18 @@ def _task_fn_argument(call: ast.Call) -> ast.AST | None:
 
 def _check_r3(ctx: RuleContext) -> list[Violation]:
     """R3 — engine tasks must be module-top-level functions."""
+    submissions = [
+        node for node in ctx.nodes(ast.Call)
+        if (name := _dotted(node.func)) is not None
+        and name.rpartition(".")[2] in _SUBMISSION_POINTS
+    ]
+    if not submissions:
+        return []
     scopes = _ScopeCollector()
     scopes.visit(ctx.tree)
     out: list[Violation] = []
-    for node in ast.walk(ctx.tree):
-        if not isinstance(node, ast.Call):
-            continue
-        name = _dotted(node.func)
-        if name is None or name.rpartition(".")[2] not in _SUBMISSION_POINTS:
-            continue
-        callee = name.rpartition(".")[2]
+    for node in submissions:
+        callee = _dotted(node.func).rpartition(".")[2]
         fn = _task_fn_argument(node)
         if fn is None:
             continue
@@ -388,37 +426,49 @@ def _is_set_expression(node: ast.AST) -> bool:
 def _check_r5(ctx: RuleContext) -> list[Violation]:
     """R5 — mutable defaults anywhere; set-order iteration near tables."""
     out: list[Violation] = []
-    for node in ast.walk(ctx.tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            defaults = list(node.args.defaults) + [
-                d for d in node.args.kw_defaults if d is not None
-            ]
-            for default in defaults:
-                if _is_mutable_literal(default):
-                    out.append(Violation(
-                        ctx.path, default.lineno, default.col_offset, "R5",
-                        "mutable default argument; default to None and "
-                        "create the container in the body",
-                    ))
+    for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda):
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                out.append(Violation(
+                    ctx.path, default.lineno, default.col_offset, "R5",
+                    "mutable default argument; default to None and "
+                    "create the container in the body",
+                ))
     ordered_scope = any(part in {"experiments", "engine"} for part in ctx.parts)
     if not ordered_scope:
         return out
-    for node in ast.walk(ctx.tree):
-        iters: list[ast.AST] = []
-        if isinstance(node, (ast.For, ast.AsyncFor)):
-            iters.append(node.iter)
-        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
-                               ast.GeneratorExp)):
-            iters.extend(gen.iter for gen in node.generators)
-        for it in iters:
-            if _is_set_expression(it):
-                out.append(Violation(
-                    ctx.path, it.lineno, it.col_offset, "R5",
-                    "iteration over a set expression in table-producing "
-                    "code; wrap in sorted(...) so row order is "
-                    "deterministic",
-                ))
+    iters: list[ast.AST] = []
+    for node in ctx.nodes(ast.For, ast.AsyncFor):
+        iters.append(node.iter)
+    for node in ctx.nodes(ast.ListComp, ast.SetComp, ast.DictComp,
+                          ast.GeneratorExp):
+        iters.extend(gen.iter for gen in node.generators)
+    for it in iters:
+        if _is_set_expression(it):
+            out.append(Violation(
+                ctx.path, it.lineno, it.col_offset, "R5",
+                "iteration over a set expression in table-producing "
+                "code; wrap in sorted(...) so row order is "
+                "deterministic",
+            ))
     return out
+
+
+def _flow_check(code: str) -> Callable[[RuleContext], list[Violation]]:
+    """Bind one flow-rule code to the shared whole-program pass."""
+
+    def check(ctx: RuleContext) -> list[Violation]:
+        # Imported lazily: flow.py uses this module's helpers.
+        from repro.lint import flow
+
+        return flow.violations_for(ctx, code)
+
+    check.__name__ = f"_check_{code.lower()}"
+    check.__doc__ = f"{code} — see repro.lint.flow."
+    return check
 
 
 #: The registry, in report order.  Keys are the pragma/ignore codes.
@@ -439,4 +489,25 @@ RULES: dict[str, Rule] = {
     "R5": Rule("R5", "order-discipline",
                "no mutable default arguments; no set-order iteration "
                "in experiments/ or engine/", _check_r5),
+    "R6": Rule("R6", "stream-reuse",
+               "no generator consumed after spawning children from it, "
+               "threaded into two sibling trial tasks, or handed to a "
+               "task and also used locally", _flow_check("R6"), flow=True),
+    "R7": Rule("R7", "generator-escape",
+               "no Generator in module-level state, class attributes, "
+               "or closures that escape their scope", _flow_check("R7"),
+               flow=True),
+    "R8": Rule("R8", "process-boundary-crossing",
+               "no live Generator in TrialTask/fanout payloads; ship "
+               "the rng= child or a seed/spawn-key spec",
+               _flow_check("R8"), flow=True),
+    "R9": Rule("R9", "draw-order-hazard",
+               "no shared generator consumed inside unordered (set) "
+               "iteration; per-element child streams are exempt",
+               _flow_check("R9"), flow=True),
+}
+
+#: The flow-rule subset (what ``repro-experiments rng-audit`` runs).
+FLOW_RULES: dict[str, Rule] = {
+    code: rule for code, rule in RULES.items() if rule.flow
 }

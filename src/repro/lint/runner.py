@@ -4,19 +4,36 @@ The runner is the library face of the linter: :func:`lint_paths` is what
 the CLI and the test suite call, :func:`lint_source` is the unit-test
 entry point for individual snippets.
 
+Two performance properties (measured by ``benchmarks/bench_lint.py``):
+
+* **Parse once, share everywhere.**  Each file is read and parsed
+  exactly once; the resulting tree is shared by all rules through
+  :class:`~repro.lint.rules.RuleContext`, whose node index is built with
+  a single ``ast.walk``.  The pre-1.3 runner let every rule re-walk the
+  tree independently.
+* **One directory walk.**  Discovery uses a single pruned ``os.walk``
+  per root — skip directories are never descended into (``rglob`` would
+  enumerate ``__pycache__``/``.git`` contents only to discard them).
+
 Directory walks skip any component named ``fixtures`` — the lint test
 suite keeps deliberately-violating snippets there — and hidden/cache
 directories.  A path given *explicitly* is always linted, so tests can
 point at fixture files directly.
+
+All files linted together form one
+:class:`~repro.lint.callgraph.Program`, which is what lets the flow
+rules R6-R9 resolve imports and generator summaries across modules.
 """
 
 from __future__ import annotations
 
 import ast
 import json
+import os
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.lint.callgraph import Program
 from repro.lint.rules import RULES, Rule, RuleContext
 from repro.lint.violations import Violation, collect_pragmas, is_suppressed
 
@@ -24,24 +41,32 @@ from repro.lint.violations import Violation, collect_pragmas, is_suppressed
 SKIP_DIRS = frozenset({"fixtures", "__pycache__", ".git", ".venv", "build"})
 
 
+def _walk_py(root: Path) -> Iterable[Path]:
+    """Yield ``.py`` files under ``root`` in one pruned directory walk."""
+    for dirpath, dirnames, filenames in os.walk(root):
+        # Pruning in place stops os.walk from ever entering skip dirs.
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(".")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield Path(dirpath) / name
+
+
 def discover_files(paths: Sequence[str | Path]) -> list[Path]:
     """Expand files/directories into the sorted list of ``.py`` targets.
 
-    Directories are walked recursively, skipping :data:`SKIP_DIRS`
-    components and hidden directories; explicit file paths pass through
-    unconditionally (this is how the test suite lints fixtures that a
-    tree walk would skip).
+    Directories are walked recursively (one pruned ``os.walk`` each),
+    skipping :data:`SKIP_DIRS` components and hidden directories;
+    explicit file paths pass through unconditionally (this is how the
+    test suite lints fixtures that a tree walk would skip).
     """
     found: list[Path] = []
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            for candidate in sorted(path.rglob("*.py")):
-                relative = candidate.relative_to(path)
-                if any(part in SKIP_DIRS or part.startswith(".")
-                       for part in relative.parts[:-1]):
-                    continue
-                found.append(candidate)
+            found.extend(_walk_py(path))
         elif path.suffix == ".py":
             found.append(path)
         else:
@@ -51,6 +76,25 @@ def discover_files(paths: Sequence[str | Path]) -> list[Path]:
     for path in found:
         unique.setdefault(path, None)
     return list(unique)
+
+
+def _lint_parsed(
+    sources: dict[str, tuple[ast.Module, str]],
+    rules: Iterable[Rule] | None,
+) -> list[Violation]:
+    """Run the rules over pre-parsed modules sharing one program."""
+    program = Program.from_sources(sources)
+    active = list(RULES.values() if rules is None else rules)
+    out: list[Violation] = []
+    for path, (tree, source) in sources.items():
+        ctx = RuleContext(path=path, tree=tree, source=source,
+                          program=program)
+        pragmas = collect_pragmas(source)
+        for rule in active:
+            for violation in rule.check(ctx):
+                if not is_suppressed(violation, pragmas):
+                    out.append(violation)
+    return sorted(out)
 
 
 def lint_source(
@@ -64,14 +108,7 @@ def lint_source(
     ``# repro-lint: ignore[...]`` identically.
     """
     tree = ast.parse(source, filename=path)
-    ctx = RuleContext(path=path, tree=tree, source=source)
-    pragmas = collect_pragmas(source)
-    out: list[Violation] = []
-    for rule in (RULES.values() if rules is None else rules):
-        for violation in rule.check(ctx):
-            if not is_suppressed(violation, pragmas):
-                out.append(violation)
-    return sorted(out)
+    return _lint_parsed({path: (tree, source)}, rules)
 
 
 def lint_file(
@@ -86,11 +123,18 @@ def lint_paths(
     paths: Sequence[str | Path],
     rules: Iterable[Rule] | None = None,
 ) -> list[Violation]:
-    """Lint every discovered file under ``paths``; sorted violations."""
-    out: list[Violation] = []
+    """Lint every discovered file under ``paths``; sorted violations.
+
+    Every file is parsed once, and all of them are linted as one
+    :class:`~repro.lint.callgraph.Program`, so the flow rules see
+    cross-module generator flow (and the syntactic rules share the
+    parse).
+    """
+    sources: dict[str, tuple[ast.Module, str]] = {}
     for target in discover_files(paths):
-        out.extend(lint_file(target, rules))
-    return sorted(out)
+        text = target.read_text(encoding="utf-8")
+        sources[str(target)] = (ast.parse(text, filename=str(target)), text)
+    return _lint_parsed(sources, rules)
 
 
 def format_text(violations: Sequence[Violation]) -> str:
@@ -109,3 +153,21 @@ def format_json(violations: Sequence[Violation]) -> str:
          "count": len(violations)},
         indent=2,
     )
+
+
+def format_github(violations: Sequence[Violation]) -> str:
+    """GitHub Actions workflow commands: one ``::error`` per finding.
+
+    Emitting these to stdout inside a workflow step makes every finding
+    render as an inline annotation on the PR diff.  Columns are
+    converted to GitHub's 1-based convention.
+    """
+    lines = [
+        f"::error file={v.path},line={v.line},col={v.col + 1},"
+        f"title={v.rule}::{v.message}"
+        for v in violations
+    ]
+    lines.append(f"{len(violations)} violation"
+                 f"{'' if len(violations) == 1 else 's'} found"
+                 if violations else "clean: no violations")
+    return "\n".join(lines)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.contracts import ContractViolation
 from repro.engine import (
     TrialTask,
     execute,
@@ -123,6 +124,84 @@ class TestFanout:
             wants_metrics=True,
         )
         assert tasks[0].wants_metrics
+
+
+class TestFailurePaths:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_mid_bag_failure_leaves_parent_metrics_unmerged(self, workers):
+        parent = CounterSet()
+        tasks = [
+            TrialTask(fn=_count_probes, args=(5,), wants_metrics=True),
+            TrialTask(fn=_boom),
+            TrialTask(fn=_count_probes, args=(7,), wants_metrics=True),
+        ]
+        with pytest.raises(RuntimeError, match="trial failed"):
+            execute(tasks, workers=workers, metrics=parent)
+        # No partial merge: the parent set is untouched by the failed bag.
+        assert parent.snapshot() == {}
+
+    def test_same_seed_rerun_after_failure_is_byte_identical(self):
+        def bag():
+            return fanout(_draw, seed=11,
+                          kwargs_list=[{"lo": 0, "hi": 10**9}] * 6)
+
+        reference = execute(bag(), workers=1)
+        with pytest.raises(RuntimeError, match="trial failed"):
+            execute([TrialTask(fn=_boom)] + bag(), workers=2)
+        assert execute(bag(), workers=2) == reference
+
+
+class TestSanitizer:
+    """REPRO_RNG_SANITIZE=1: fingerprint collection and race detection."""
+
+    def _bag(self, workers, fingerprints=None):
+        tasks = fanout(_draw, seed=42,
+                       kwargs_list=[{"lo": 0, "hi": 10**9}] * 8)
+        return execute(tasks, workers=workers, fingerprints=fingerprints)
+
+    def test_workers_1_vs_4_identical_fingerprints_and_results(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RNG_SANITIZE", "1")
+        serial_fps, parallel_fps = [], []
+        serial = self._bag(1, serial_fps)
+        parallel = self._bag(4, parallel_fps)
+        assert serial == parallel
+        assert serial_fps == parallel_fps
+        assert len(serial_fps) == 8
+        assert all(fp is not None and fp.draws == 1 for fp in serial_fps)
+        assert len({fp.stream for fp in serial_fps}) == 8
+
+    def test_stream_race_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RNG_SANITIZE", "1")
+        shared = np.random.default_rng(3)
+        tasks = [
+            TrialTask(fn=_draw, args=(0, 100), rng=shared),
+            # Deliberate race: the stream sharing is the thing under test.
+            TrialTask(fn=_draw, args=(0, 100), rng=shared),  # repro-lint: ignore[R6]
+        ]
+        with pytest.raises(ContractViolation, match="one RNG stream"):
+            execute(tasks, workers=1)
+
+    def test_sanitize_off_collects_no_fingerprints(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RNG_SANITIZE", raising=False)
+        fps = []
+        self._bag(1, fps)
+        assert fps == [None] * 8
+
+    def test_sanitizer_changes_no_drawn_value(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RNG_SANITIZE", raising=False)
+        plain = self._bag(1)
+        monkeypatch.setenv("REPRO_RNG_SANITIZE", "1")
+        assert self._bag(1) == plain
+
+    def test_e1_table_byte_identical_across_worker_counts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RNG_SANITIZE", "1")
+        kwargs = dict(epsilons=(0.5,), trials=2, seed=1)
+        serial = e1_quality.run(**kwargs, workers=1)
+        parallel = e1_quality.run(**kwargs, workers=4)
+        assert serial.rows == parallel.rows
+        assert serial.headers == parallel.headers
 
 
 class TestEndToEndDeterminism:

@@ -1,0 +1,18 @@
+"""R6 failing fixture: stream reuse in both shapes."""
+
+from repro.engine import TrialTask
+from repro.instrument.rng import resolve_rng, spawn_rngs
+
+
+def reuse_after_spawn(seed=None, rng=None):
+    """Draw from a parent that already spawned children."""
+    root = resolve_rng(seed=seed, rng=rng)
+    children = spawn_rngs(root, 2)
+    return root.integers(10), children
+
+
+def sibling_tasks(fn, rng):
+    """Thread one generator into two sibling tasks."""
+    first = TrialTask(fn=fn, rng=rng)
+    second = TrialTask(fn=fn, rng=rng)
+    return first, second

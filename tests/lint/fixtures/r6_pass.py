@@ -1,0 +1,17 @@
+"""R6 passing fixture: every consumer owns its spawned child."""
+
+from repro.engine import TrialTask
+from repro.instrument.rng import resolve_rng, spawn_rngs
+
+
+def fan(fn, seed=None, rng=None):
+    """One spawned child per task; the parent is never drawn from."""
+    root = resolve_rng(seed=seed, rng=rng)
+    return [TrialTask(fn=fn, rng=child) for child in spawn_rngs(root, 4)]
+
+
+def draw_then_spawn(seed=None, rng=None):
+    """Drawing *before* spawning is fine — spawn keys are draw-independent."""
+    root = resolve_rng(seed=seed, rng=rng)
+    value = int(root.integers(10))
+    return value, spawn_rngs(root, 2)

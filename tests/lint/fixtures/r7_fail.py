@@ -1,0 +1,18 @@
+"""R7 failing fixture: generator escape in three shapes."""
+
+import numpy as np
+
+GLOBAL_RNG = np.random.default_rng(0)
+
+
+class Sampler:
+    """Hosts a class-attribute generator shared by every instance."""
+
+    rng = np.random.default_rng(1)
+
+
+def make_sampler(rng):
+    """Return a closure that captures a live generator."""
+    def sample():
+        return rng.integers(10)
+    return sample

@@ -1,0 +1,22 @@
+"""R7 passing fixture: per-instance and per-call generators."""
+
+from repro.instrument.rng import resolve_rng
+
+
+class Sampler:
+    """Owns a per-instance generator (the sanctioned idiom)."""
+
+    def __init__(self, seed=None, rng=None):
+        """Resolve the uniform pair once per instance."""
+        self._rng = resolve_rng(seed=seed, rng=rng)
+
+    def sample(self):
+        """Draw from the instance's own stream."""
+        return int(self._rng.integers(10))
+
+
+def local_closure(rng):
+    """A closure that never escapes may reference the local generator."""
+    def peek():
+        return rng.integers(10)
+    return int(peek())

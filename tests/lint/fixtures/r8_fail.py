@@ -1,0 +1,10 @@
+"""R8 failing fixture: live generators in task payloads."""
+
+from repro.engine import TrialTask, fanout
+
+
+def ship_generators(fn, rng):
+    """Both payload channels smuggle a live generator."""
+    task = TrialTask(fn=fn, kwargs={"rng_worker": rng})
+    tasks = fanout(fn, 123, [{"gen": rng}])
+    return task, tasks

@@ -1,0 +1,15 @@
+"""R8 passing fixture: specs cross the boundary, not generators."""
+
+from repro.engine import TrialTask
+from repro.instrument.rng import resolve_rng, rng_spec, spawn_rngs
+
+
+def ship_specs(fn, seed=None, rng=None):
+    """Payloads carry RngSpec records; the rng= channel carries a child."""
+    root = resolve_rng(seed=seed, rng=rng)
+    alg, adv = spawn_rngs(root, 2)
+    return TrialTask(
+        fn=fn,
+        kwargs={"spec_adv": rng_spec(adv), "seed": 7},
+        rng=alg,
+    )

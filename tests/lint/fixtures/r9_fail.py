@@ -1,0 +1,9 @@
+"""R9 failing fixture: one stream drawn inside set iteration."""
+
+
+def mark_vertices(vertices, rng):
+    """Hash order decides the draw sequence."""
+    marks = {}
+    for v in set(vertices):
+        marks[v] = rng.integers(2)
+    return marks

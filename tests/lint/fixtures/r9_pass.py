@@ -1,0 +1,15 @@
+"""R9 passing fixture: sorted iteration and per-element streams."""
+
+from repro.instrument.rng import resolve_rng, spawn_rngs
+
+
+def mark_sorted(vertices, seed=None, rng=None):
+    """Sorting restores a deterministic draw order."""
+    root = resolve_rng(seed=seed, rng=rng)
+    return {v: int(root.integers(2)) for v in sorted(set(vertices))}
+
+
+def per_element(count, seed=None, rng=None):
+    """Per-element child streams are order-independent by construction."""
+    children = spawn_rngs(resolve_rng(seed=seed, rng=rng), count)
+    return {i: int(children[i].integers(2)) for i in set(range(count))}

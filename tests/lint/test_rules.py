@@ -104,7 +104,10 @@ def test_r5_set_iteration_only_near_tables():
 
 @pytest.mark.fast
 def test_rule_registry_is_complete():
-    assert sorted(RULES) == ["R1", "R2", "R3", "R4", "R5"]
+    assert sorted(RULES) == [
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+    ]
     for code, rule in RULES.items():
         assert rule.code == code
         assert rule.summary
+    assert [c for c, r in RULES.items() if r.flow] == ["R6", "R7", "R8", "R9"]

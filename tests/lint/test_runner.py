@@ -86,7 +86,7 @@ class TestCli:
         assert lint_main(["--select", "R1", str(bad)]) == 1
 
     def test_unknown_rule_code_is_usage_error(self, tmp_path):
-        assert lint_main(["--select", "R9", str(tmp_path)]) == 2
+        assert lint_main(["--select", "R99", str(tmp_path)]) == 2
 
     def test_missing_target_is_usage_error(self, tmp_path):
         assert lint_main([str(tmp_path / "nope.txt")]) == 2

@@ -9,9 +9,11 @@ from repro.contracts import (
     ContractViolation,
     check_matching,
     check_sparsifier_degree,
+    check_stream_fingerprints,
     check_subgraph,
     contracts_enabled,
 )
+from repro.instrument.rng import RngFingerprint
 from repro.core.sparsifier import SparsifierResult, build_sparsifier
 from repro.graphs.builder import from_edges
 from repro.graphs.generators import clique_union
@@ -125,6 +127,26 @@ class TestCheckSparsifierDegree:
     def test_invalid_delta_rejected(self):
         with pytest.raises(ContractViolation, match="delta"):
             check_sparsifier_degree(_path_graph(3), 0)
+
+
+@pytest.mark.fast
+class TestCheckStreamFingerprints:
+    def test_distinct_streams_pass(self):
+        fps = [RngFingerprint("7/0", 3), None, RngFingerprint("7/1", 2)]
+        assert check_stream_fingerprints(fps) == fps
+
+    def test_shared_stream_with_draws_rejected(self):
+        fps = [RngFingerprint("7/0", 1), RngFingerprint("7/0", 0)]
+        with pytest.raises(ContractViolation, match="one RNG stream"):
+            check_stream_fingerprints(fps)
+
+    def test_shared_but_undrawn_stream_tolerated(self):
+        fps = [RngFingerprint("7/0", 0), RngFingerprint("7/0", 0)]
+        assert check_stream_fingerprints(fps) == fps
+
+    def test_empty_and_all_none_pass(self):
+        assert check_stream_fingerprints([]) == []
+        assert check_stream_fingerprints([None, None]) == [None, None]
 
 
 @pytest.mark.fast

@@ -1,10 +1,25 @@
 """Tests for counters, RNG plumbing, and timers."""
 
+import pickle
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
 from repro.instrument.counters import Counter, CounterSet
-from repro.instrument.rng import derive_rng, resolve_rng, spawn_rngs
+from repro.instrument.rng import (
+    DRAW_METHODS,
+    RngFingerprint,
+    SanitizedGenerator,
+    derive_rng,
+    resolve_rng,
+    rng_from_spec,
+    rng_sanitize_enabled,
+    rng_spec,
+    sanitize_rng,
+    spawn_rngs,
+    stream_id,
+)
 from repro.instrument.timers import Timer
 
 pytestmark = pytest.mark.fast
@@ -91,27 +106,31 @@ class TestCounterSet:
 
 
 class TestRng:
-    def test_derive_from_int(self):
-        a = derive_rng(5)
-        b = derive_rng(5)
+    def test_derive_from_int_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="resolve_rng"):
+            a = derive_rng(5)
+        with pytest.warns(DeprecationWarning, match="resolve_rng"):
+            b = derive_rng(5)
         assert a.integers(1000) == b.integers(1000)
 
-    def test_derive_passthrough(self):
+    def test_derive_passthrough_warns(self):
         gen = np.random.default_rng(0)
-        assert derive_rng(gen) is gen
+        with pytest.warns(DeprecationWarning, match="resolve_rng"):
+            assert derive_rng(gen) is gen
 
-    def test_derive_none(self):
-        assert isinstance(derive_rng(None), np.random.Generator)
+    def test_derive_none_warns(self):
+        with pytest.warns(DeprecationWarning, match="resolve_rng"):
+            assert isinstance(derive_rng(None), np.random.Generator)
 
     def test_spawn(self):
-        children = spawn_rngs(derive_rng(1), 3)
+        children = spawn_rngs(resolve_rng(seed=1), 3)
         assert len(children) == 3
-        draws = {int(c.integers(10**9)) for c in children}
-        assert len(draws) == 3  # independent streams
+        draws = sorted(int(c.integers(10**9)) for c in children)
+        assert len(set(draws)) == 3  # independent streams
 
     def test_spawn_negative(self):
         with pytest.raises(ValueError):
-            spawn_rngs(derive_rng(1), -1)
+            spawn_rngs(resolve_rng(seed=1), -1)
 
 
 class TestResolveRng:
@@ -151,6 +170,95 @@ class TestResolveRng:
             old = build_sparsifier(g, 3, rng=0)
         new = build_sparsifier(g, 3, seed=0)
         assert sorted(old.subgraph.edges()) == sorted(new.subgraph.edges())
+
+
+class TestStreamIdentity:
+    def test_root_and_child_ids(self):
+        root = np.random.default_rng(7)
+        assert stream_id(root) == "7/root"
+        child = root.spawn(1)[0]
+        assert stream_id(child) == "7/0"
+
+    def test_spec_round_trip_is_byte_identical(self):
+        original = np.random.default_rng(42).spawn(3)[2]
+        rebuilt = rng_from_spec(rng_spec(original))
+        assert stream_id(rebuilt) == stream_id(original)
+        assert list(original.integers(10**9, size=8)) == list(
+            rebuilt.integers(10**9, size=8)
+        )
+
+    def test_spec_is_picklable_and_ordered(self):
+        spec = rng_spec(np.random.default_rng(3))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        other = rng_spec(np.random.default_rng(4))
+        assert sorted([other, spec]) == sorted([spec, other])
+
+    def test_raw_bit_generator_state_is_rejected(self):
+        bare = SimpleNamespace(bit_generator=SimpleNamespace(seed_seq=None))
+        with pytest.raises(ValueError, match="SeedSequence"):
+            stream_id(bare)
+
+
+class TestSanitizedGenerator:
+    def test_draws_match_plain_generator(self):
+        plain = np.random.default_rng(11)
+        wrapped = sanitize_rng(np.random.default_rng(11))
+        assert list(plain.integers(100, size=5)) == list(
+            wrapped.integers(100, size=5)
+        )
+        assert plain.normal() == wrapped.normal()
+
+    def test_draw_counter(self):
+        gen = sanitize_rng(np.random.default_rng(0))
+        assert gen.draws == 0
+        gen.integers(10)
+        gen.normal(size=4)  # one call, one count, regardless of size
+        assert gen.draws == 2
+        assert gen.fingerprint() == RngFingerprint(stream="0/root", draws=2)
+
+    def test_sanitize_is_idempotent(self):
+        gen = sanitize_rng(np.random.default_rng(0))
+        assert sanitize_rng(gen) is gen
+
+    def test_sanitize_continues_the_stream(self):
+        plain = np.random.default_rng(9)
+        reference = np.random.default_rng(9)
+        reference.integers(100, size=3)
+        plain.integers(100, size=3)
+        wrapped = sanitize_rng(plain)
+        assert wrapped.integers(10**9) == reference.integers(10**9)
+
+    def test_spawn_returns_sanitized_children(self):
+        children = spawn_rngs(sanitize_rng(np.random.default_rng(5)), 2)
+        assert all(isinstance(c, SanitizedGenerator) for c in children)
+        assert [c.stream for c in children] == ["5/0", "5/1"]
+
+    def test_pickle_preserves_class_and_counter(self):
+        gen = sanitize_rng(np.random.default_rng(8))
+        gen.integers(100, size=2)
+        clone = pickle.loads(pickle.dumps(gen))
+        assert isinstance(clone, SanitizedGenerator)
+        assert clone.draws == 1
+        assert clone.integers(10**9) == gen.integers(10**9)
+
+    def test_rng_from_spec_sanitizes_when_enabled(self, monkeypatch):
+        spec = rng_spec(np.random.default_rng(2))
+        monkeypatch.delenv("REPRO_RNG_SANITIZE", raising=False)
+        assert not isinstance(rng_from_spec(spec), SanitizedGenerator)
+        monkeypatch.setenv("REPRO_RNG_SANITIZE", "1")
+        assert rng_sanitize_enabled()
+        assert isinstance(rng_from_spec(spec), SanitizedGenerator)
+
+
+def test_draw_methods_agree_with_static_analyzer():
+    from repro.lint.flow import DRAW_METHODS as ANALYZER_DRAW_METHODS
+
+    assert DRAW_METHODS == ANALYZER_DRAW_METHODS
+
+
+def test_draw_methods_exist_on_numpy_generator():
+    for name in DRAW_METHODS:
+        assert callable(getattr(np.random.Generator, name))
 
 
 def test_timer():
