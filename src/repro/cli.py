@@ -91,6 +91,12 @@ def main(argv: list[str] | None = None) -> int:
              "that take one",
     )
     parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="journal completed trials to PATH and resume from it on "
+             "rerun (engine-backed experiments; for 'all', one journal "
+             "per experiment at PATH.<id>)",
+    )
+    parser.add_argument(
         "--markdown", action="store_true",
         help="emit GitHub-flavored Markdown tables",
     )
@@ -137,6 +143,8 @@ def main(argv: list[str] | None = None) -> int:
                     "params": _accepted_kwargs(
                         REGISTRY[key], trials=args.trials, scale=args.scale
                     ),
+                    "checkpoint": (f"{args.checkpoint}.{key}"
+                                   if args.checkpoint else None),
                 },
             )
             for key in wanted
@@ -151,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
                 workers=workers if workers > 1 else None,
                 trials=args.trials,
                 scale=args.scale,
+                checkpoint=args.checkpoint,
             ))
             tables.append(REGISTRY[key](**kwargs))
 

@@ -192,10 +192,39 @@ def check_stream_fingerprints(fingerprints) -> list:
     return fingerprint_list
 
 
+def check_replay_fingerprints(fingerprints, expected_streams) -> list:
+    """Assert each task's surviving attempt drew from its assigned stream.
+
+    ``fingerprints`` is the per-task sequence ``engine.execute`` collects
+    under ``REPRO_RNG_SANITIZE=1``; ``expected_streams`` is the aligned
+    sequence of stream ids derived from each task's
+    :class:`~repro.instrument.rng.RngSpec` at submission
+    (:func:`~repro.instrument.rng.spec_stream_id`), or ``None`` where no
+    spec was capturable.  A mismatch means a retry (or a checkpoint
+    restore) ran a task against the *wrong* stream — the failure mode
+    that would silently break the engine's byte-identical-under-faults
+    guarantee, which is why it is a contract and not a warning.
+    """
+    fingerprint_list = list(fingerprints)
+    for index, (fingerprint, expected) in enumerate(
+        zip(fingerprint_list, expected_streams)
+    ):
+        if fingerprint is None or expected is None:
+            continue
+        if fingerprint.stream != expected:
+            _fail(
+                f"task {index} drew from stream {fingerprint.stream!r} but "
+                f"was assigned {expected!r}; a retry or checkpoint restore "
+                "replayed the wrong RngSpec (see engine RetryPolicy)"
+            )
+    return fingerprint_list
+
+
 __all__ = [
     "CONTRACTS_ENV",
     "ContractViolation",
     "check_matching",
+    "check_replay_fingerprints",
     "check_sparsifier_degree",
     "check_stream_fingerprints",
     "check_subgraph",

@@ -4,18 +4,38 @@ Fan independent trials — or whole experiments — out over a process
 pool, with determinism guaranteed by spawning per-trial RNGs from the
 root seed before dispatch and merging worker-side counters losslessly
 in task order.  ``workers=1`` is the exact in-process serial path.
+
+The engine is fault tolerant: failed tasks are retried deterministically
+from their captured :class:`~repro.instrument.rng.RngSpec`
+(:class:`RetryPolicy`), dead pools are respawned with only unfinished
+tasks re-enqueued, completed trials can be journaled to a checkpoint
+(:mod:`repro.engine.checkpoint`), and all of it is testable via
+deterministic chaos injection (:mod:`repro.engine.faults`,
+``REPRO_FAULTS``).
 """
 
+from repro.engine.checkpoint import Checkpoint, CheckpointMismatch
 from repro.engine.core import (
+    RetryPolicy,
+    TaskTimeoutError,
     TrialTask,
     WorkerSpec,
     execute,
     fanout,
     resolve_workers,
 )
+from repro.engine.faults import Fault, FaultInjected, FaultPlan, FaultTimeout
 from repro.engine.tasks import run_registry_experiment
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointMismatch",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultTimeout",
+    "RetryPolicy",
+    "TaskTimeoutError",
     "TrialTask",
     "WorkerSpec",
     "execute",

@@ -1,0 +1,261 @@
+"""Deterministic chaos/fault injection for the experiment engine.
+
+Fault tolerance that is only exercised by real outages is untested fault
+tolerance.  This module lets tests and CI *inject* the failures the
+engine's retry machinery (:func:`repro.engine.core.execute`) must absorb
+— crashed tasks, slow tasks, hung tasks, dead worker processes — in a
+way that is **reproducible**: whether a given task fails is decided by a
+seeded hash of the task's index, not by a clock or a live random source,
+so the same spec string produces the same failure pattern at any worker
+count, on any machine, on every run.
+
+The plan is activated either explicitly (``execute(..., faults=plan)``)
+or ambiently via the environment::
+
+    REPRO_FAULTS="crash:0.2,delay:0.1" repro-experiments e1 --workers 4
+
+Spec grammar (comma-separated clauses)::
+
+    <kind>:<probability>[x<duration>]   e.g.  crash:0.2   delay:0.1x0.05
+    <kind>@<task-index>[x<duration>]    e.g.  crash@3     hang@5x2.0
+    seed=<int>        salt for the per-task hash (default 0)
+    attempts=<int>    attempts on which faults fire (default 1: first only)
+
+Kinds:
+
+``crash``
+    The task raises :class:`FaultInjected` before running.
+``timeout``
+    The task raises :class:`FaultTimeout` before running (simulates a
+    task the caller's timeout would have killed).
+``delay``
+    The task sleeps ``duration`` seconds (default 0.01) and then runs
+    normally — exercises ordering under skew, never fails.
+``hang``
+    The task sleeps ``duration`` seconds (default 30) before running —
+    long enough to trip a configured per-task timeout.  On the serial
+    path, where an in-process task cannot be preempted, it degrades to
+    ``timeout`` so tests still terminate.
+``die``
+    The worker process exits hard (``os._exit``), breaking the pool —
+    exercises pool respawn.  On the serial path it degrades to ``crash``
+    (exiting would kill the caller, not a worker).
+
+Faults fire only on attempts below ``attempts`` (default: the first
+attempt only), so a bounded retry budget always reaches a clean run and
+chaos-mode output stays byte-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import time
+from dataclasses import dataclass
+
+#: Environment variable holding the ambient fault spec.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Recognized fault kinds.
+KINDS = frozenset({"crash", "timeout", "delay", "hang", "die"})
+
+#: Default sleep lengths for the time-based kinds (seconds).
+DEFAULT_DURATIONS = {"delay": 0.01, "hang": 30.0}
+
+_CLAUSE = re.compile(
+    r"^(?P<kind>[a-z]+)"
+    r"(?:@(?P<index>\d+)|:(?P<prob>[0-9.]+))?"
+    r"(?:x(?P<duration>[0-9.]+))?$"
+)
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault fired (the 'crash'/'die' family).
+
+    Engine retry logic treats it like any other task failure; tests
+    match on it to distinguish injected failures from real bugs.
+    """
+
+
+class FaultTimeout(FaultInjected):
+    """An injected fault simulating a task the timeout would have killed."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One concrete fault directive for one task attempt.
+
+    Produced by :meth:`FaultPlan.decide` in the parent (so the decision
+    is identical for every worker count) and shipped to wherever the
+    task runs; :meth:`apply` performs the failure there.
+    """
+
+    kind: str
+    duration: float = 0.0
+    task_index: int = -1
+
+    def apply(self) -> None:
+        """Perform the fault: raise, sleep, or kill the process.
+
+        ``delay``/``hang`` return after sleeping (the task then runs
+        normally); ``crash``/``timeout`` raise; ``die`` never returns.
+        """
+        if self.kind == "crash":
+            raise FaultInjected(
+                f"injected crash in task {self.task_index}"
+            )
+        if self.kind == "timeout":
+            raise FaultTimeout(
+                f"injected timeout in task {self.task_index}"
+            )
+        if self.kind in ("delay", "hang"):
+            time.sleep(self.duration)
+            return
+        if self.kind == "die":  # pragma: no cover - kills the process
+            os._exit(13)
+        raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def degraded_for_serial(self) -> "Fault":
+        """The serial-path equivalent of this fault.
+
+        ``die`` becomes ``crash`` and ``hang`` becomes ``timeout``:
+        in-process execution can neither kill a worker nor be preempted,
+        so the engine substitutes the failure mode with the same retry
+        semantics.  Other kinds pass through unchanged.
+        """
+        if self.kind == "die":
+            return Fault("crash", 0.0, self.task_index)
+        if self.kind == "hang":
+            return Fault("timeout", 0.0, self.task_index)
+        return self
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed spec clause: a kind plus its trigger and duration.
+
+    Either ``index`` (targeted: fire on exactly that task) or
+    ``probability`` (stochastic: fire on tasks selected by seeded hash)
+    is set, never both.
+    """
+
+    kind: str
+    probability: float | None = None
+    index: int | None = None
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        """Validate the kind and the trigger combination."""
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(KINDS)}"
+            )
+        if (self.probability is None) == (self.index is None):
+            raise ValueError(
+                f"fault rule {self.kind!r} needs exactly one of a "
+                "probability (kind:p) or a task index (kind@i)"
+            )
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+
+
+def _hash_unit(salt: int, position: int, kind: str, index: int) -> float:
+    """Deterministic uniform-[0,1) value for one (rule, task) pair.
+
+    SHA-256 over a stable string — no clocks, no global RNG state — so
+    the fault pattern is a pure function of (spec, task index).
+    """
+    digest = hashlib.sha256(
+        f"{salt}:{position}:{kind}:{index}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed fault-injection plan: which tasks fail, and how.
+
+    An empty plan (the default) injects nothing — pass
+    ``faults=FaultPlan()`` to :func:`~repro.engine.core.execute` to
+    explicitly disable ambient ``REPRO_FAULTS`` injection in a test.
+    """
+
+    rules: tuple[FaultRule, ...] = ()
+    salt: int = 0
+    max_attempt: int = 1
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` spec string (see module docstring)."""
+        rules: list[FaultRule] = []
+        salt = 0
+        max_attempt = 1
+        for raw in spec.split(","):
+            clause = raw.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                salt = int(clause[len("seed="):])
+                continue
+            if clause.startswith("attempts="):
+                max_attempt = int(clause[len("attempts="):])
+                continue
+            match = _CLAUSE.match(clause)
+            if match is None:
+                raise ValueError(f"unparseable fault clause {clause!r}")
+            duration = match["duration"]
+            rules.append(FaultRule(
+                kind=match["kind"],
+                probability=float(match["prob"]) if match["prob"] else None,
+                index=int(match["index"]) if match["index"] else None,
+                duration=float(duration) if duration else None,
+            ))
+        return cls(rules=tuple(rules), salt=salt, max_attempt=max_attempt)
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The ambient plan from ``REPRO_FAULTS``, or None when unset."""
+        spec = os.environ.get(FAULTS_ENV, "").strip()
+        return cls.parse(spec) if spec else None
+
+    def decide(self, index: int, attempt: int) -> Fault | None:
+        """The fault (if any) for task ``index`` on attempt ``attempt``.
+
+        Pure and deterministic: targeted rules match their index,
+        stochastic rules compare the seeded task hash against their
+        probability.  The first matching rule wins (clause order in the
+        spec is the priority order).  Attempts at or beyond
+        ``max_attempt`` never fault, which is what guarantees retries
+        converge.
+        """
+        if attempt >= self.max_attempt:
+            return None
+        for position, rule in enumerate(self.rules):
+            if rule.index is not None:
+                if rule.index != index:
+                    continue
+            elif _hash_unit(self.salt, position, rule.kind, index) >= (
+                rule.probability or 0.0
+            ):
+                continue
+            duration = rule.duration
+            if duration is None:
+                duration = DEFAULT_DURATIONS.get(rule.kind, 0.0)
+            return Fault(kind=rule.kind, duration=duration, task_index=index)
+        return None
+
+
+__all__ = [
+    "DEFAULT_DURATIONS",
+    "FAULTS_ENV",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "FaultTimeout",
+    "KINDS",
+]

@@ -8,11 +8,15 @@ all --workers N``.
 
 from __future__ import annotations
 
+import inspect
 from typing import Any
 
 
 def run_registry_experiment(
-    key: str, seed: int = 0, params: dict[str, Any] | None = None
+    key: str,
+    seed: int = 0,
+    params: dict[str, Any] | None = None,
+    checkpoint: str | None = None,
 ):
     """Run one registered experiment end to end and return its table.
 
@@ -20,7 +24,18 @@ def run_registry_experiment(
     task payload tiny); ``params`` are forwarded to the experiment's
     ``run(**params)`` verbatim.  Tables are plain dataclasses of python
     lists, so they travel back over the pool unchanged.
+
+    ``checkpoint`` is forwarded only to experiments whose ``run``
+    accepts one (the engine-backed drivers), so a per-experiment resume
+    journal can ride along a ``repro-experiments all`` sweep without
+    breaking the drivers that do not checkpoint.
     """
     from repro.experiments import REGISTRY
 
-    return REGISTRY[key](seed=seed, **(params or {}))
+    fn = REGISTRY[key]
+    kwargs = dict(params or {})
+    if checkpoint is not None and (
+        "checkpoint" in inspect.signature(fn).parameters
+    ):
+        kwargs["checkpoint"] = checkpoint
+    return fn(seed=seed, **kwargs)

@@ -71,6 +71,7 @@ def run(
     trials: int = 5,
     seed: int = 0,
     workers: int | str = 1,
+    checkpoint: str | None = None,
 ) -> Table:
     """Produce the E11 table; see module docstring."""
     rng = np.random.default_rng(seed)
@@ -100,7 +101,7 @@ def run(
                 rng=child,
             ))
         groups.append((panel, setting, delta))
-    sizes = execute(tasks, workers=workers)
+    sizes = execute(tasks, workers=workers, checkpoint=checkpoint)
     for i, (panel, setting, delta) in enumerate(groups):
         batch = sizes[i * trials:(i + 1) * trials]
         ratios = [opt / s if s else float("inf") for s in batch]

@@ -85,6 +85,7 @@ def run(
     trials: int = 3,
     seed: int = 0,
     workers: int | str = 1,
+    checkpoint: str | None = None,
 ) -> Table:
     """Produce the E17 table; see module docstring."""
     rng = np.random.default_rng(seed)
@@ -116,7 +117,7 @@ def run(
                         "spec_alg": rng_spec(rng_alg),
                         "spec_adv": rng_spec(rng_adv)},
             ))
-    ratios = execute(tasks, workers=workers)
+    ratios = execute(tasks, workers=workers, checkpoint=checkpoint)
     for i, (alg_name, adv_kind) in enumerate(cells):
         worst = max([1.0] + ratios[i * trials:(i + 1) * trials])
         table.add_row(alg_name, adv_kind, worst, worst <= 1 + epsilon)

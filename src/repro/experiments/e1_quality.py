@@ -50,6 +50,7 @@ def run(
     seed: int = 0,
     constant: float | None = None,
     workers: int | str = 1,
+    checkpoint: str | None = None,
 ) -> Table:
     """Produce the E1 table; see module docstring."""
     rng = np.random.default_rng(seed)
@@ -78,7 +79,7 @@ def run(
                     rng=child,
                 ))
             groups.append((family, graph, opt, eps, delta))
-    sizes = execute(tasks, workers=workers)
+    sizes = execute(tasks, workers=workers, checkpoint=checkpoint)
     for i, (family, graph, opt, eps, delta) in enumerate(groups):
         batch = sizes[i * trials:(i + 1) * trials]
         ratios = [opt / s if s else float("inf") for s in batch]

@@ -83,6 +83,7 @@ def run(
     seed: int = 0,
     scale: int = 1,
     workers: int | str = 1,
+    checkpoint: str | None = None,
 ) -> Table:
     """Produce the E7 table; see module docstring."""
     rng = np.random.default_rng(seed)
@@ -125,7 +126,8 @@ def run(
         for (fn, kwargs), child in zip(specs, spawn_rngs(rng, len(specs)))
     ]
     metrics = CounterSet()
-    for row in execute(tasks, workers=workers, metrics=metrics):
+    for row in execute(tasks, workers=workers, metrics=metrics,
+                       checkpoint=checkpoint):
         table.add_row(*row)
     table.notes.append(
         f"total probes across all rows: {metrics.value('probes')}"

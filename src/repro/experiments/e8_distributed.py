@@ -72,6 +72,7 @@ def run(
     epsilon: float = 0.34,
     seed: int = 0,
     workers: int | str = 1,
+    checkpoint: str | None = None,
 ) -> Table:
     """Produce the E8 table; see module docstring."""
     rng = np.random.default_rng(seed)
@@ -94,7 +95,7 @@ def run(
         )
         for i, k in enumerate(sizes)
     ]
-    for row in execute(tasks, workers=workers):
+    for row in execute(tasks, workers=workers, checkpoint=checkpoint):
         table.add_row(*row)
     return table
 

@@ -207,6 +207,17 @@ def rng_spec(rng: np.random.Generator) -> RngSpec:  # repro-lint: ignore[R4]
     )
 
 
+def spec_stream_id(spec: RngSpec) -> str:
+    """The :func:`stream_id` a generator rebuilt from ``spec`` will carry.
+
+    Lets the engine know, *before* running anything, which stream a
+    task's successful attempt must have drawn from — the expectation the
+    retry-replay contract checks against.
+    """
+    key = ".".join(str(k) for k in spec.spawn_key) or "root"
+    return f"{spec.entropy:x}/{key}"
+
+
 def rng_from_spec(spec: RngSpec) -> np.random.Generator:
     """Rebuild the stream a :class:`RngSpec` describes, from the start.
 

@@ -1,0 +1,174 @@
+"""Checkpoint/resume tests: interrupted sweeps lose no completed work.
+
+The contract: a run journaled to ``checkpoint=`` and killed mid-bag can
+be rerun over the same task bag and (a) skips every journaled task, (b)
+produces results, counter totals, and fingerprints byte-identical to an
+uninterrupted run.  A checkpoint written for a different bag is refused.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CheckpointMismatch,
+    FaultPlan,
+    RetryPolicy,
+    execute,
+    fanout,
+)
+from repro.engine.checkpoint import Checkpoint, run_key_for
+from repro.engine.faults import FaultInjected
+from repro.experiments import e1_quality
+from repro.instrument.counters import CounterSet
+
+pytestmark = pytest.mark.fast
+
+FAST = RetryPolicy(backoff=0)
+NO_FAULTS = FaultPlan()
+
+
+def _draw(lo: int, hi: int, *, rng: np.random.Generator) -> int:
+    return int(rng.integers(lo, hi))
+
+
+def _logged_draw(lo: int, hi: int, log: str, *, rng) -> int:
+    with open(log, "a") as handle:
+        handle.write("x\n")
+    return int(rng.integers(lo, hi))
+
+
+def _counted(amount: int, *, rng, metrics) -> int:
+    metrics["events"].add(amount)
+    return amount
+
+
+def _bag(log: str | None = None):
+    kwargs: dict = {"lo": 0, "hi": 10**9}
+    if log is not None:
+        kwargs["log"] = log
+    fn = _draw if log is None else _logged_draw
+    return fanout(fn, seed=42, kwargs_list=[dict(kwargs)] * 6)
+
+
+class TestRoundTrip:
+    def test_resume_skips_completed_tasks(self, tmp_path):
+        log = str(tmp_path / "exec.log")
+        path = tmp_path / "ck.jsonl"
+        first = execute(_bag(log), workers=1, faults=NO_FAULTS,
+                        checkpoint=path)
+        executions = open(log).read().count("x")
+        assert executions == 6
+        second = execute(_bag(log), workers=1, faults=NO_FAULTS,
+                         checkpoint=path)
+        assert second == first
+        assert open(log).read().count("x") == 6  # nothing re-ran
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_interrupted_run_resumes_byte_identical(self, tmp_path, workers):
+        reference = execute(_bag(), workers=1, faults=NO_FAULTS)
+        path = tmp_path / "ck.jsonl"
+        # Simulate the kill: task 4 fails with a zero-retry budget, so
+        # execute raises after journaling whatever already finished.
+        with pytest.raises(FaultInjected):
+            execute(_bag(), workers=workers,
+                    faults=FaultPlan.parse("crash@4,attempts=99"),
+                    retry=RetryPolicy(max_retries=0, backoff=0),
+                    checkpoint=path)
+        resumed = execute(_bag(), workers=workers, faults=NO_FAULTS,
+                          checkpoint=path)
+        assert resumed == reference
+
+    def test_metrics_restored_across_resume(self, tmp_path):
+        def run(checkpoint, faults):
+            parent = CounterSet()
+            tasks = fanout(_counted, seed=9,
+                           kwargs_list=[{"amount": k + 1} for k in range(5)],
+                           wants_metrics=True)
+            execute(tasks, workers=1, faults=faults, retry=FAST,
+                    metrics=parent, checkpoint=checkpoint)
+            return parent.snapshot()
+
+        reference = run(None, NO_FAULTS)
+        path = tmp_path / "ck.jsonl"
+        with pytest.raises(FaultInjected):
+            run(path, FaultPlan.parse("crash@3,attempts=99"))
+        assert run(path, NO_FAULTS) == reference == {"events": 15}
+
+    def test_fingerprints_restored_across_resume(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RNG_SANITIZE", "1")
+        ref_fps: list = []
+        reference = execute(_bag(), workers=1, faults=NO_FAULTS,
+                            fingerprints=ref_fps)
+        path = tmp_path / "ck.jsonl"
+        with pytest.raises(FaultInjected):
+            execute(_bag(), workers=1,
+                    faults=FaultPlan.parse("crash@4,attempts=99"),
+                    retry=RetryPolicy(max_retries=0, backoff=0),
+                    checkpoint=path)
+        fps: list = []
+        resumed = execute(_bag(), workers=1, faults=NO_FAULTS,
+                          checkpoint=path, fingerprints=fps)
+        assert resumed == reference
+        assert fps == ref_fps
+
+
+class TestSafety:
+    def test_mismatched_bag_is_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        execute(_bag(), workers=1, faults=NO_FAULTS, checkpoint=path)
+        other = fanout(_draw, seed=7, kwargs_list=[{"lo": 0, "hi": 10}] * 3)
+        with pytest.raises(CheckpointMismatch):
+            execute(other, workers=1, faults=NO_FAULTS, checkpoint=path)
+
+    def test_truncated_tail_is_ignored(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        execute(_bag(), workers=1, faults=NO_FAULTS, checkpoint=path)
+        lines = path.read_text().splitlines()
+        # Chop the last record in half, as a kill mid-append would.
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:10])
+        resumed = execute(_bag(), workers=1, faults=NO_FAULTS,
+                          checkpoint=path)
+        assert resumed == execute(_bag(), workers=1, faults=NO_FAULTS)
+
+    def test_garbage_file_is_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text("not a checkpoint\n")
+        with pytest.raises(CheckpointMismatch):
+            execute(_bag(), workers=1, faults=NO_FAULTS, checkpoint=path)
+
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        execute(_bag(), workers=1, faults=NO_FAULTS, checkpoint=path)
+        execute(_bag(), workers=1, faults=NO_FAULTS, checkpoint=path)
+        headers = [line for line in path.read_text().splitlines()
+                   if "run_key" in line]
+        assert len(headers) == 1
+        assert json.loads(headers[0])["tasks"] == 6
+
+    def test_run_key_is_order_sensitive(self):
+        a = run_key_for([("m", "f", "(1,)", "[]", None, False, False)])
+        b = run_key_for([("m", "f", "(2,)", "[]", None, False, False)])
+        assert a != b
+
+    def test_record_after_close_raises(self, tmp_path):
+        ckpt = Checkpoint.open(tmp_path / "ck.jsonl", run_key="k", total=1)
+        ckpt.close()
+        with pytest.raises(ValueError):
+            ckpt.record(0, (1, None, None))
+
+
+class TestExperimentLevel:
+    def test_e1_checkpointed_equals_plain(self, tmp_path):
+        kwargs = dict(epsilons=(0.5,), trials=2, seed=1)
+        plain = e1_quality.run(**kwargs)
+        resumable = e1_quality.run(
+            **kwargs, checkpoint=str(tmp_path / "e1.ck")
+        )
+        rerun = e1_quality.run(
+            **kwargs, checkpoint=str(tmp_path / "e1.ck")
+        )
+        assert plain.rows == resumable.rows == rerun.rows

@@ -1,0 +1,207 @@
+"""Fault-injection matrix for the engine's retry/recovery machinery.
+
+The contract under test: for any injected failure pattern that leaves
+retries a clean attempt, ``execute`` returns results — and, under the
+RNG sanitizer, fingerprints — **byte-identical** to a fault-free run, at
+any worker count.  Crash-on-task-k, timeout-on-task-k, and
+pool-death-mid-run each get serial (`workers=1`) and pool (`workers=4`)
+coverage; on the serial path `die` degrades to `crash` and `hang` to
+`timeout` by design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    FaultInjected,
+    FaultPlan,
+    FaultTimeout,
+    RetryPolicy,
+    TaskTimeoutError,
+    execute,
+    fanout,
+)
+from repro.engine.faults import Fault, FaultRule
+
+pytestmark = pytest.mark.fast
+
+#: Zero-backoff policy so failure paths don't sleep in tests.
+FAST = RetryPolicy(backoff=0)
+
+#: Shield reference runs from ambient REPRO_FAULTS (the CI chaos leg).
+NO_FAULTS = FaultPlan()
+
+
+def _draw(lo: int, hi: int, *, rng: np.random.Generator) -> int:
+    return int(rng.integers(lo, hi))
+
+
+def _bag():
+    return fanout(_draw, seed=42, kwargs_list=[{"lo": 0, "hi": 10**9}] * 8)
+
+
+def _reference(fingerprints=None):
+    return execute(_bag(), workers=1, faults=NO_FAULTS,
+                   fingerprints=fingerprints)
+
+
+class TestSpecParsing:
+    def test_probability_clause(self):
+        plan = FaultPlan.parse("crash:0.25")
+        assert plan.rules == (FaultRule("crash", probability=0.25),)
+
+    def test_targeted_clause_with_duration(self):
+        plan = FaultPlan.parse("hang@3x2.5")
+        assert plan.rules == (FaultRule("hang", index=3, duration=2.5),)
+
+    def test_seed_and_attempts_clauses(self):
+        plan = FaultPlan.parse("crash:0.1, seed=7, attempts=2")
+        assert plan.salt == 7 and plan.max_attempt == 2
+
+    @pytest.mark.parametrize("bad", ["flood:0.1", "crash", "crash:2.0",
+                                     "crash@1:0.5", "???"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_empty_plan_never_fires(self):
+        assert all(FaultPlan().decide(i, 0) is None for i in range(50))
+
+
+class TestDeterministicDecisions:
+    def test_same_spec_same_pattern(self):
+        a = FaultPlan.parse("crash:0.5")
+        b = FaultPlan.parse("crash:0.5")
+        assert [a.decide(i, 0) for i in range(64)] == \
+               [b.decide(i, 0) for i in range(64)]
+
+    def test_salt_changes_pattern(self):
+        a = FaultPlan.parse("crash:0.5")
+        b = FaultPlan.parse("crash:0.5,seed=1")
+        hits = lambda p: [i for i in range(64) if p.decide(i, 0)]  # noqa: E731
+        assert hits(a) != hits(b)
+        assert 10 < len(hits(a)) < 54  # probability is roughly honored
+
+    def test_faults_clear_after_max_attempt(self):
+        plan = FaultPlan.parse("crash@3")
+        assert plan.decide(3, 0) is not None
+        assert plan.decide(3, 1) is None
+
+    def test_serial_degradation_mapping(self):
+        assert Fault("die", task_index=1).degraded_for_serial().kind == "crash"
+        assert Fault("hang", 9.0, 1).degraded_for_serial().kind == "timeout"
+        assert Fault("delay", 0.01, 1).degraded_for_serial().kind == "delay"
+
+
+class TestFaultMatrix:
+    """crash / timeout / pool-death, each × workers ∈ {1, 4}."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_crash_on_task_k(self, workers):
+        out = execute(_bag(), workers=workers,
+                      faults=FaultPlan.parse("crash@3"), retry=FAST)
+        assert out == _reference()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_timeout_on_task_k(self, workers):
+        # Pool path: task 5 hangs past the 0.4s budget, tripping the
+        # real timeout/respawn machinery; serial path: degrades to an
+        # injected FaultTimeout, exercising the retry loop.
+        out = execute(_bag(), workers=workers,
+                      faults=FaultPlan.parse("hang@5x5.0"),
+                      retry=RetryPolicy(backoff=0, timeout=0.4))
+        assert out == _reference()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_pool_death_mid_run(self, workers):
+        out = execute(_bag(), workers=workers,
+                      faults=FaultPlan.parse("die@2"), retry=FAST)
+        assert out == _reference()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_stochastic_chaos_mix(self, workers):
+        out = execute(_bag(), workers=workers,
+                      faults=FaultPlan.parse("crash:0.3,delay:0.3x0.01"),
+                      retry=FAST)
+        assert out == _reference()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("spec", ["crash@3", "die@2", "crash:0.4"])
+    def test_fingerprints_identical_under_sanitizer(
+        self, monkeypatch, workers, spec
+    ):
+        monkeypatch.setenv("REPRO_RNG_SANITIZE", "1")
+        ref_fps: list = []
+        reference = _reference(ref_fps)
+        fps: list = []
+        out = execute(_bag(), workers=workers, faults=FaultPlan.parse(spec),
+                      retry=FAST, fingerprints=fps)
+        assert out == reference
+        assert fps == ref_fps
+        assert all(fp is not None and fp.draws == 1 for fp in fps)
+
+    def test_metrics_identical_under_faults(self):
+        def totals(faults):
+            from repro.instrument.counters import CounterSet
+
+            parent = CounterSet()
+            tasks = fanout(_count, seed=5,
+                           kwargs_list=[{"amount": k + 1} for k in range(6)],
+                           wants_metrics=True)
+            execute(tasks, workers=4, faults=faults, retry=FAST,
+                    metrics=parent)
+            return parent.snapshot()
+
+        assert totals(NO_FAULTS) == totals(FaultPlan.parse("crash:0.5")) \
+            == {"events": 21}
+
+
+def _count(amount: int, *, rng, metrics) -> int:
+    metrics["events"].add(amount)
+    return amount
+
+
+class TestExhaustionAndDegradation:
+    def test_persistent_crash_exhausts_retries(self):
+        plan = FaultPlan.parse("crash@0,attempts=99")
+        with pytest.raises(FaultInjected):
+            execute(_bag(), workers=1, faults=plan,
+                    retry=RetryPolicy(max_retries=1, backoff=0))
+
+    def test_persistent_serial_timeout_raises_fault_timeout(self):
+        plan = FaultPlan.parse("hang@0,attempts=99")
+        with pytest.raises(FaultTimeout):
+            execute(_bag(), workers=1, faults=plan,
+                    retry=RetryPolicy(max_retries=1, backoff=0))
+
+    def test_persistent_pool_timeout_raises_task_timeout(self):
+        plan = FaultPlan.parse("hang@0x5.0,attempts=99")
+        with pytest.raises(TaskTimeoutError):
+            execute(_bag(), workers=4, faults=plan,
+                    retry=RetryPolicy(max_retries=1, backoff=0, timeout=0.3))
+
+    def test_repeated_pool_death_degrades_to_serial(self):
+        # Every pool round dies twice (attempts=2), blowing the respawn
+        # budget; the serial fallback (die -> crash, then a clean
+        # attempt) must still complete with identical results.
+        plan = FaultPlan.parse("die:1.0,attempts=2")
+        out = execute(_bag(), workers=4, faults=plan,
+                      retry=RetryPolicy(max_retries=4, backoff=0,
+                                        max_pool_respawns=1))
+        assert out == _reference()
+
+
+class TestAmbientEnv:
+    def test_repro_faults_env_is_picked_up(self, monkeypatch):
+        reference = _reference()
+        monkeypatch.setenv("REPRO_FAULTS", "crash@1,crash@4")
+        assert execute(_bag(), workers=1, retry=FAST) == reference
+
+    def test_explicit_plan_overrides_env(self, monkeypatch):
+        # An always-crashing ambient spec must be ignored when the call
+        # passes its own (empty) plan.
+        monkeypatch.setenv("REPRO_FAULTS", "crash:1.0,attempts=99")
+        assert execute(_bag(), workers=1, faults=NO_FAULTS,
+                       retry=FAST) == _reference()

@@ -1,0 +1,71 @@
+"""Golden-table regression tests: seed-0 table bytes are pinned.
+
+Each golden under ``tests/goldens/`` is the exact ``Table.render()``
+output of a small fixed-seed configuration.  Any drift — an RNG
+consumption-order change, a formatting tweak, a numeric regression —
+fails the diff, turning "the tables quietly changed" into a reviewed
+decision.  Regenerate intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_goldens.py \
+        --force-regen  # (no such flag: edit REGEN below instead)
+
+i.e. flip ``REGEN = True``, run once, flip it back, and commit the new
+bytes alongside the change that explains them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine import FaultPlan
+from repro.experiments import e1_quality, e8_distributed, e17_adaptive_separation
+
+pytestmark = pytest.mark.fast
+
+#: Flip to True (locally, never committed) to rewrite the goldens.
+REGEN = False
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "goldens"
+
+#: id -> (run fn, small fixed-seed kwargs).  Keep these cheap: the whole
+#: module is part of the fast CI tier.
+CASES = {
+    "e1": (e1_quality.run, dict(epsilons=(0.5, 0.3), trials=3, seed=0)),
+    "e8": (e8_distributed.run, dict(sizes=(2, 3), clique_size=8, seed=0)),
+    "e17": (
+        e17_adaptive_separation.run,
+        dict(clique_size=6, num_cliques=2, steps=120, trials=2, seed=0),
+    ),
+}
+
+
+@pytest.mark.parametrize("key", sorted(CASES))
+def test_table_matches_golden(key):
+    """Rendered seed-0 table is byte-identical to the committed golden."""
+    fn, kwargs = CASES[key]
+    rendered = fn(**kwargs).render() + "\n"
+    path = GOLDEN_DIR / f"{key}.txt"
+    if REGEN:  # pragma: no cover - manual regeneration path
+        path.write_text(rendered)
+    assert rendered == path.read_text(), (
+        f"{key} table drifted from {path}; if intentional, regenerate the "
+        "golden (see module docstring) and commit it with the change"
+    )
+
+
+def test_regen_flag_is_off():
+    """Guards against committing the suite in regeneration mode."""
+    assert REGEN is False
+
+
+@pytest.mark.parametrize("key", sorted(CASES))
+def test_golden_stable_under_chaos(key, monkeypatch):
+    """The pinned bytes also hold with ambient fault injection active —
+    the CI chaos leg must not be able to move a table."""
+    monkeypatch.setenv("REPRO_FAULTS", "crash:0.2")
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+    assert FaultPlan.from_env() is not None  # the chaos plan is active
+    fn, kwargs = CASES[key]
+    assert fn(**kwargs).render() + "\n" == (GOLDEN_DIR / f"{key}.txt").read_text()

@@ -8,6 +8,7 @@ from repro.contracts import (
     CONTRACTS_ENV,
     ContractViolation,
     check_matching,
+    check_replay_fingerprints,
     check_sparsifier_degree,
     check_stream_fingerprints,
     check_subgraph,
@@ -147,6 +148,26 @@ class TestCheckStreamFingerprints:
     def test_empty_and_all_none_pass(self):
         assert check_stream_fingerprints([]) == []
         assert check_stream_fingerprints([None, None]) == [None, None]
+
+
+@pytest.mark.fast
+class TestCheckReplayFingerprints:
+    """Retries must replay each task's *assigned* stream (engine retry
+    contract under REPRO_RNG_SANITIZE=1)."""
+
+    def test_matching_streams_pass(self):
+        fps = [RngFingerprint("a/0", 2), RngFingerprint("a/1", 1)]
+        assert check_replay_fingerprints(fps, ["a/0", "a/1"]) == fps
+
+    def test_wrong_stream_rejected(self):
+        fps = [RngFingerprint("a/0", 2), RngFingerprint("a/7", 1)]
+        with pytest.raises(ContractViolation, match="wrong RngSpec"):
+            check_replay_fingerprints(fps, ["a/0", "a/1"])
+
+    def test_none_entries_skipped(self):
+        fps = [None, RngFingerprint("a/1", 1)]
+        assert check_replay_fingerprints(fps, [None, None]) == fps
+        assert check_replay_fingerprints(fps, ["a/9", "a/1"]) == fps
 
 
 @pytest.mark.fast

@@ -1,0 +1,132 @@
+"""Property-based (hypothesis) suite for the paper's core invariants.
+
+Randomized graphs × seeds, asserting statements that are *theorems* —
+true on every draw, not just with high probability — so the suite can
+never flake:
+
+* **Theorem 2.1 (quality)**: at the paper's Δ = 20·(β/ε)·ln(24/ε) the
+  sparsifier satisfies |MCM(G)|/|MCM(G_Δ)| ≤ 1+ε, i.e. the retained
+  matching is ≥ 1/(1+ε) of optimum; and quality is monotone in Δ in the
+  guaranteed sense — every G_Δ is a subgraph (so never beats G), while
+  Δ ≥ max-degree retains G exactly.
+* **Observation 2.10 (size)**: |E(G_Δ)| ≤ Σ_v min(Δ, deg v) ≤ n·Δ.
+* **Observation 2.12 (uniform sparsity)**: degeneracy(G_Δ) ≤ 2Δ (each
+  edge is marked by an endpoint and each vertex marks ≤ Δ).
+* **Matching validity**: every pipeline output passes
+  :func:`repro.contracts.check_matching`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.contracts import check_matching, check_sparsifier_degree
+from repro.core.delta import DeltaPolicy, delta_paper
+from repro.core.sparsifier import build_sparsifier
+from repro.graphs.arboricity import degeneracy
+from repro.graphs.builder import from_edges
+from repro.matching.blossom import mcm_exact
+from repro.sequential.pipeline import approximate_matching
+
+#: Shared strategy fragments: small graphs keep exact MCM cheap while
+#: still exercising every code path (empty, sparse, dense, clique-ish).
+_N = st.integers(min_value=2, max_value=18)
+_P = st.floats(min_value=0.0, max_value=1.0)
+_SEED = st.integers(min_value=0, max_value=2**31 - 1)
+_DELTA = st.integers(min_value=1, max_value=8)
+_EPS = st.sampled_from([0.5, 0.3, 0.15])
+
+
+def _random_graph(n: int, p: float, seed: int):
+    rng = np.random.default_rng(seed)
+    edges = [
+        (u, v) for u in range(n) for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    return from_edges(n, edges)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=_N, p=_P, seed=_SEED, eps=_EPS)
+def test_theorem_2_1_ratio_at_paper_delta(n, p, seed, eps):
+    """At the paper's Δ the sparsifier keeps |MCM(G_Δ)| ≥ |MCM(G)|/(1+ε).
+
+    (On instances this small the paper Δ exceeds every degree, so the
+    bound holds with certainty — the test pins the *statement*, and the
+    Δ policy feeding it, rather than the probabilistic tail.)
+    """
+    graph = _random_graph(n, p, seed)
+    opt = mcm_exact(graph).size
+    delta = delta_paper(beta=1, epsilon=eps)
+    result = build_sparsifier(graph, delta, seed=seed)
+    got = mcm_exact(result.subgraph).size
+    assert got * (1 + eps) >= opt
+    assert got <= opt  # a subgraph can never out-match its host
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=_N, p=_P, seed=_SEED, delta=_DELTA)
+def test_theorem_2_1_monotone_quality_in_delta(n, p, seed, delta):
+    """Quality is monotone in Δ in the guaranteed sense: any G_Δ matches
+    at most what G does, and Δ ≥ max-degree retains G exactly (ratio 1),
+    so growing Δ to the degree cap closes the gap entirely."""
+    graph = _random_graph(n, p, seed)
+    opt = mcm_exact(graph).size
+    small = build_sparsifier(graph, delta, seed=seed)
+    assert mcm_exact(small.subgraph).size <= opt
+    cap = max(1, graph.max_degree())
+    full = build_sparsifier(graph, cap, seed=seed)
+    assert full.subgraph.num_edges == graph.num_edges
+    assert mcm_exact(full.subgraph).size == opt
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=_N, p=_P, seed=_SEED, delta=_DELTA)
+def test_observation_2_10_edge_bound(n, p, seed, delta):
+    """|E(G_Δ)| ≤ Σ_v min(Δ, deg v) ≤ n·Δ, via the marking-law contract
+    and directly."""
+    graph = _random_graph(n, p, seed)
+    result = build_sparsifier(graph, delta, seed=seed)
+    check_sparsifier_degree(result, delta, graph=graph)
+    budget = sum(min(delta, graph.degree(v)) for v in range(n))
+    assert result.subgraph.num_edges <= budget <= n * delta
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=_N, p=_P, seed=_SEED, delta=_DELTA)
+def test_observation_2_12_degeneracy_bound(n, p, seed, delta):
+    """degeneracy(G_Δ) ≤ 2Δ: orient each edge away from a marking
+    endpoint and both out-degree halves are ≤ Δ."""
+    graph = _random_graph(n, p, seed)
+    result = build_sparsifier(graph, delta, seed=seed)
+    d, order = degeneracy(result.subgraph)
+    assert d <= 2 * delta
+    assert sorted(order.tolist()) == list(range(n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=_N, p=_P, seed=_SEED, eps=_EPS)
+def test_pipeline_matchings_are_valid(n, p, seed, eps):
+    """Every sequential-pipeline output is a genuine matching of G."""
+    graph = _random_graph(n, p, seed)
+    result = approximate_matching(
+        graph, beta=1, epsilon=eps, seed=seed,
+        policy=DeltaPolicy.practical(),
+    )
+    check_matching(graph, result.matching)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=_N, p=_P, seed=_SEED, delta=_DELTA)
+def test_samplers_obey_identical_marking_law(n, p, seed, delta):
+    """pos_array and vectorized samplers both mark exactly
+    min(Δ, deg v) distinct neighbors per vertex (the law every size and
+    sparsity bound above derives from)."""
+    graph = _random_graph(n, p, seed)
+    for sampler in ("pos_array", "vectorized"):
+        result = build_sparsifier(graph, delta, seed=seed, sampler=sampler)
+        for v, marks in enumerate(result.marked_by):
+            assert len(set(marks)) == len(marks) == min(
+                delta, graph.degree(v)
+            )
