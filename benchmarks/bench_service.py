@@ -1,0 +1,115 @@
+"""Benchmark for the dynamic-matching service: throughput + latency SLO.
+
+Starts an in-process :class:`~repro.service.server.BackgroundServer`,
+drives it with deterministic load-generator bursts over the real TCP
+stack (oblivious and adaptive adversaries, several batch sizes), and
+reports per-workload throughput plus the server's own latency
+percentiles as JSON.
+
+Two assertions make it a regression gate, not just a stopwatch:
+
+* **latency budget** — every workload's p99 per-update latency must sit
+  under the session's configured budget (the Theorem 3.5 work cap's SLO
+  counterpart, ``DEFAULT_BUDGET_MS``);
+* **replay determinism** — each workload's journal is replayed offline
+  and must land on the served fingerprint byte-for-byte.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --output results/bench_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.service.client import ServiceClient
+from repro.service.journal import replay_journal
+from repro.service.loadgen import run_load
+from repro.service.metrics import DEFAULT_BUDGET_MS
+from repro.service.server import BackgroundServer
+
+#: (name, adversary, steps, batch_size) per workload.
+WORKLOADS = (
+    ("oblivious-single", "oblivious", 600, 1),
+    ("oblivious-batched", "oblivious", 600, 32),
+    ("adaptive-batched", "adaptive", 600, 16),
+)
+
+
+def bench_workload(client, journal_dir, name, adversary, steps, batch_size,
+                   seed):
+    """Run one loadgen burst; verify replay; return a JSON-ready row."""
+    report = run_load(
+        client, name, adversary=adversary, steps=steps,
+        batch_size=batch_size, seed=seed,
+    )
+    latency = report["stats"]["latency"]
+    replayed = replay_journal(Path(journal_dir) / f"{name}.jsonl")
+    replay_ok = replayed.fingerprint() == report["fingerprint"]
+    assert replay_ok, f"{name}: journal replay diverged from served state"
+    assert latency["p99_ms"] <= latency["budget_ms"], (
+        f"{name}: p99 {latency['p99_ms']}ms over the "
+        f"{latency['budget_ms']}ms budget"
+    )
+    return {
+        "workload": name,
+        "adversary": adversary,
+        "steps": steps,
+        "batch_size": batch_size,
+        "applied": report["applied"],
+        "attacks": report["attacks"],
+        "elapsed_seconds": report["elapsed_seconds"],
+        "updates_per_second": report["updates_per_second"],
+        "batches": report["stats"]["counters"].get("batches", 0),
+        "latency": latency,
+        "queue": report["stats"]["queue"],
+        "matching_size": report["size"],
+        "p99_under_budget": True,
+        "replay_identical": replay_ok,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed for every workload (default 0)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="override the per-workload update count")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    rows = []
+    with tempfile.TemporaryDirectory() as journal_dir:
+        with BackgroundServer(journal_dir=journal_dir) as server:
+            with ServiceClient(server.host, server.port) as client:
+                for name, adversary, steps, batch_size in WORKLOADS:
+                    rows.append(bench_workload(
+                        client, journal_dir, name, adversary,
+                        args.steps or steps, batch_size, args.seed,
+                    ))
+
+    report = {
+        "benchmark": "dynamic-matching service throughput and latency",
+        "python": platform.python_version(),
+        "budget_ms": DEFAULT_BUDGET_MS,
+        "seed": args.seed,
+        "workloads": rows,
+    }
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ The facade (:mod:`repro.api`) fronts the per-model subpackages; the
 model-specific entry points below remain available for full control.
 """
 
+from repro._version import package_version
 from repro.api import ApproxMatchingResult, Pipeline, approx_mcm, sparsify
 from repro.contracts import (
     ContractViolation,
@@ -79,7 +80,7 @@ from repro.streaming import (
 )
 from repro.mpc import mpc_approx_matching
 
-__version__ = "1.2.0"
+__version__ = package_version()
 
 __all__ = [
     "AdaptiveAdversary",

@@ -6,12 +6,16 @@ Usage::
     repro-experiments e1 --workers 4  # trials fanned over 4 processes
     repro-experiments all --workers auto   # experiments run concurrently
     repro-experiments --list          # enumerate experiment ids
+    repro-experiments --version       # installed package version
     repro-experiments lint src tests  # determinism/invariant linter
     repro-experiments rng-audit src   # RNG stream-flow audit (R6-R9)
+    repro-experiments serve --port 8765 --journal-dir journals
+    repro-experiments replay journals/mysession.jsonl --json
 
 Parallelism is deterministic: for a fixed ``--seed``, tables are
 identical at any ``--workers`` value (per-trial RNGs are spawned from
-the root seed before dispatch — see ``docs/ENGINE.md``).
+the root seed before dispatch — see ``docs/ENGINE.md``).  ``serve`` /
+``replay`` front the dynamic-matching service (``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
@@ -20,7 +24,93 @@ import argparse
 import inspect
 import sys
 
+from repro._version import package_version
 from repro.experiments import REGISTRY
+
+
+def _serve_main(argv: list[str]) -> int:
+    """The ``serve`` subcommand: run the dynamic-matching TCP server."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description="Serve dynamic-matching sessions over JSON-lines TCP "
+                    "(see docs/SERVICE.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="TCP port (0 = ephemeral, printed on start)")
+    parser.add_argument("--journal-dir", default=None,
+                        help="write per-session replay journals to this "
+                             "directory (default: journaling off)")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="micro-batch size bound (default 32)")
+    parser.add_argument("--max-queue", type=int, default=1024,
+                        help="per-session queue bound; fuller queues "
+                             "reject updates with backpressure")
+    parser.add_argument("--budget-ms", type=float, default=None,
+                        help="default per-update latency budget in ms")
+    parser.add_argument("--allow-shutdown", action="store_true",
+                        help="honor the client 'shutdown' op (CI/bench)")
+    args = parser.parse_args(argv)
+
+    from repro.service.metrics import DEFAULT_BUDGET_MS
+    from repro.service.server import run_server
+
+    return run_server(
+        host=args.host, port=args.port, journal_dir=args.journal_dir,
+        max_batch=args.max_batch, max_queue=args.max_queue,
+        budget_ms=(DEFAULT_BUDGET_MS if args.budget_ms is None
+                   else args.budget_ms),
+        allow_shutdown=args.allow_shutdown,
+    )
+
+
+def _replay_main(argv: list[str]) -> int:
+    """The ``replay`` subcommand: rebuild a session from its journal."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments replay",
+        description="Deterministically replay a session journal offline "
+                    "and report the resulting matching.",
+    )
+    parser.add_argument("journal", help="path to a <session>.jsonl journal")
+    parser.add_argument("--upto", type=int, default=None,
+                        help="replay only the first N updates")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON report instead of a summary")
+    parser.add_argument("--verify", action="store_true",
+                        help="replay twice and assert byte-identity "
+                             "(exit 1 on divergence)")
+    args = parser.parse_args(argv)
+
+    import json as json_module
+
+    from repro.contracts import ContractViolation, check_replay_sessions
+    from repro.service.journal import JournalError, replay_journal
+
+    try:
+        session = replay_journal(args.journal, upto=args.upto)
+        if args.verify:
+            check_replay_sessions(
+                session, replay_journal(args.journal, upto=args.upto)
+            )
+    except (JournalError, ContractViolation) as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 1
+    payload = {
+        "session": session.name,
+        "backend": session.backend,
+        "seq": session.seq,
+        "size": session.matching.size,
+        "matching": session.matching_payload()["edges"],
+        "fingerprint": session.fingerprint(),
+    }
+    if args.json:
+        print(json_module.dumps(payload, indent=2))
+    else:
+        print(f"session {payload['session']!r} ({payload['backend']}): "
+              f"{payload['seq']} updates -> matching of size "
+              f"{payload['size']}, fingerprint {payload['fingerprint']}"
+              + (" [verified]" if args.verify else ""))
+    return 0
 
 
 def _experiment_ids() -> list[str]:
@@ -53,6 +143,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import audit_main
 
         return audit_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "replay":
+        return _replay_main(argv[1:])
     ids = _experiment_ids()
     id_range = f"{ids[0]}..{ids[-1]}"
     parser = argparse.ArgumentParser(
@@ -66,10 +160,14 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         nargs="?",
         help=f"experiment id ({id_range}), 'all', or the 'lint' / "
-             "'rng-audit' subcommands",
+             "'rng-audit' / 'serve' / 'replay' subcommands",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro-experiments {package_version()}",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="root RNG seed (default 0)"

@@ -220,11 +220,65 @@ def check_replay_fingerprints(fingerprints, expected_streams) -> list:
     return fingerprint_list
 
 
+def check_replay_sessions(recorded, replayed):
+    """Assert a replayed service session reproduced the recorded one.
+
+    Both arguments are :class:`repro.service.session.Session`-shaped
+    objects (duck-typed to keep this module service-agnostic): the
+    session that served live traffic and the one
+    :func:`repro.service.journal.replay_journal` rebuilt offline.
+    Checks, in order of increasing strictness:
+
+    * same applied-update count (``seq``);
+    * byte-identical output matchings (``mate`` array buffers);
+    * identical state fingerprints (matching + sparsifier edge set +
+      per-vertex marks — see ``Session.fingerprint``);
+    * under ``REPRO_RNG_SANITIZE=1``, identical RNG stream fingerprints
+      (same stream ids *and* draw counts), i.e. the replay consumed the
+      same randomness, not merely reached the same answer.
+
+    Returns ``replayed`` so it composes as a pass-through.
+    """
+    if recorded.seq != replayed.seq:
+        _fail(
+            f"replayed session applied {replayed.seq} updates but the "
+            f"recorded one applied {recorded.seq}; the journal is "
+            "truncated or was replayed with upto="
+        )
+    recorded_mate = recorded.matching.mate
+    replayed_mate = replayed.matching.mate
+    if recorded_mate.tobytes() != replayed_mate.tobytes():
+        _fail(
+            "replayed matching diverged from the recorded one "
+            f"(sizes {recorded.matching.size} vs {replayed.matching.size}); "
+            "the session's RNG streams or update order were not "
+            "reproduced"
+        )
+    recorded_print = recorded.fingerprint()
+    replayed_print = replayed.fingerprint()
+    if recorded_print != replayed_print:
+        _fail(
+            f"replayed session fingerprint {replayed_print[:16]}… does not "
+            f"match the recorded {recorded_print[:16]}…; sparsifier state "
+            "diverged even though the matching agrees"
+        )
+    recorded_rng = recorded.rng_fingerprints()
+    replayed_rng = replayed.rng_fingerprints()
+    if recorded_rng != replayed_rng:
+        _fail(
+            f"replayed session RNG fingerprints {replayed_rng} do not "
+            f"match the recorded {recorded_rng}; the replay drew from "
+            "different streams or a different number of times"
+        )
+    return replayed
+
+
 __all__ = [
     "CONTRACTS_ENV",
     "ContractViolation",
     "check_matching",
     "check_replay_fingerprints",
+    "check_replay_sessions",
     "check_sparsifier_degree",
     "check_stream_fingerprints",
     "check_subgraph",

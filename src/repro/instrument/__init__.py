@@ -4,6 +4,11 @@ Every quantitative claim in the paper is either a *count* (probes,
 messages, rounds, work units) or a *ratio* (approximation factors).  This
 package provides the shared counting and randomness infrastructure so that
 experiments are reproducible bit-for-bit given a seed.
+
+The deprecated ``derive_rng`` shim is intentionally *not* re-exported
+here: the only remaining spelling is ``repro.instrument.rng.derive_rng``
+(a warning-emitting alias for pre-1.3 callers), and a lint-suite test
+asserts no module in the package references it.
 """
 
 from repro.instrument.counters import Counter, CounterSet
@@ -11,7 +16,6 @@ from repro.instrument.rng import (
     RngFingerprint,
     RngSpec,
     SanitizedGenerator,
-    derive_rng,
     resolve_rng,
     rng_from_spec,
     rng_sanitize_enabled,
@@ -29,7 +33,6 @@ __all__ = [
     "RngSpec",
     "SanitizedGenerator",
     "Timer",
-    "derive_rng",
     "resolve_rng",
     "rng_from_spec",
     "rng_sanitize_enabled",

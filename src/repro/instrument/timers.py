@@ -1,8 +1,25 @@
-"""Minimal wall-clock timing helper for the experiment harnesses."""
+"""Minimal wall-clock timing helpers for the harnesses and the service.
+
+This module is the package's single sanctioned home for clock reads
+(lint rule R2): everything else measures time through :class:`Timer` or
+:func:`now` so that wall-clock nondeterminism is confined to explicitly
+instrumented measurement code and can never leak into results.
+"""
 
 from __future__ import annotations
 
 import time
+
+
+def now() -> float:
+    """A monotonic timestamp in seconds (``time.perf_counter``).
+
+    The service layer's latency accounting calls this instead of
+    reading the clock directly, keeping wall-clock reads inside this
+    module per lint rule R2.  Only differences between two calls are
+    meaningful.
+    """
+    return time.perf_counter()
 
 
 class Timer:

@@ -1,0 +1,68 @@
+"""repro.service — a dynamic-matching server around Theorem 3.5.
+
+The paper's headline systems result — a fully dynamic (1+ε)-MCM with
+*worst-case* update time O(β/ε³·log(1/ε)) that survives an adaptive
+adversary — is exactly the guarantee a live service needs.  This package
+is that service: an asyncio JSON-lines TCP server hosting named graph
+**sessions**, each owning a maintained sparsifier G_Δ plus a pluggable
+dynamic matcher backend.
+
+Layers (bottom-up):
+
+* :mod:`repro.service.protocol` — the JSON-lines wire format
+  (``repro-service-v1``): request validation, response envelopes,
+  error codes.
+* :mod:`repro.service.metrics` — per-session latency recorder
+  (p50/p95/p99 against a configured budget) and operation counters.
+* :mod:`repro.service.session` — :class:`Session`: a
+  :class:`~repro.dynamic.dynamic_sparsifier.DynamicSparsifier` plus a
+  backend matcher (``lazy_rebuild`` / ``oblivious`` / ``baseline``),
+  a Lemma 3.4 stability certificate, and a deterministic state
+  fingerprint.
+* :mod:`repro.service.journal` — the per-session deterministic replay
+  journal (``repro-service-journal-v1``): RngSpec-captured streams +
+  applied-update log, replayable offline to a byte-identical matching.
+* :mod:`repro.service.batching` — micro-batching with bounded queues
+  and backpressure (rejected-over-budget accounting).
+* :mod:`repro.service.server` — the asyncio TCP server and the
+  in-thread :class:`BackgroundServer` used by tests and benchmarks.
+* :mod:`repro.service.client` — async client + a synchronous wrapper.
+* :mod:`repro.service.loadgen` — deterministic oblivious/adaptive
+  load generation driven through the client.
+
+CLI: ``repro-experiments serve`` starts a server,
+``repro-experiments replay <journal>`` re-derives a session offline.
+See ``docs/SERVICE.md`` for the protocol schema and semantics.
+"""
+
+from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
+from repro.service.journal import (
+    JOURNAL_FORMAT,
+    JournalError,
+    ReplayJournal,
+    read_journal,
+    replay_journal,
+)
+from repro.service.protocol import PROTOCOL, ProtocolError
+from repro.service.server import BackgroundServer, MatchingService, run_server
+from repro.service.session import BACKENDS, Session, UpdateError, theorem_work_budget
+
+__all__ = [
+    "AsyncServiceClient",
+    "BACKENDS",
+    "BackgroundServer",
+    "JOURNAL_FORMAT",
+    "JournalError",
+    "MatchingService",
+    "PROTOCOL",
+    "ProtocolError",
+    "ReplayJournal",
+    "ServiceClient",
+    "ServiceError",
+    "Session",
+    "UpdateError",
+    "read_journal",
+    "replay_journal",
+    "run_server",
+    "theorem_work_budget",
+]

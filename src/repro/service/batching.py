@@ -1,0 +1,176 @@
+"""Micro-batching with bounded queues and backpressure.
+
+Concurrent client updates to one session are funneled through a
+:class:`MicroBatcher`: a bounded asyncio queue drained by a single
+worker task that applies up to ``max_batch`` updates back-to-back,
+flushes the replay journal once per batch, and attributes the batch's
+measured wall-clock time evenly across its updates (one clock-read
+pair per batch, not per update).
+
+Serialization through the single worker is also what keeps the service
+deterministic: updates are applied — and journaled — in one total
+order, so replaying the journal reproduces the matching regardless of
+how many clients raced to submit.
+
+**Backpressure.**  The queue is bounded (``max_queue``); a submit that
+does not fit is rejected *immediately* with :class:`Backpressure`
+(surfaced to the client as the ``backpressure`` error code) and
+counted in ``rejected_over_budget``.  Batch submissions are
+all-or-nothing: a batch only enters the queue if every update fits,
+so a client never observes a half-applied batch admission.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import suppress
+
+from repro.instrument.timers import now
+from repro.service.session import Session, UpdateError
+
+
+class Backpressure(RuntimeError):
+    """The session's update queue is full; the op was rejected.
+
+    Attributes
+    ----------
+    code:
+        Stable protocol error code (``backpressure``).
+    """
+
+    def __init__(self, message: str) -> None:
+        """Record the rejection reason."""
+        super().__init__(message)
+        self.code = "backpressure"
+
+
+class MicroBatcher:
+    """Coalesces one session's updates into bounded batches.
+
+    Parameters
+    ----------
+    session:
+        The :class:`~repro.service.session.Session` to apply updates to.
+    max_batch:
+        Largest number of queued updates applied back-to-back.
+    max_queue:
+        Queue bound; submits beyond it raise :class:`Backpressure`.
+
+    Notes
+    -----
+    Must be constructed inside a running event loop (the worker task
+    starts immediately).  :meth:`close` drains the queue and stops the
+    worker.
+    """
+
+    def __init__(
+        self, session: Session, *, max_batch: int = 32, max_queue: int = 1024
+    ) -> None:
+        """Start the worker task for ``session``."""
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.session = session
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+        self._worker = asyncio.get_running_loop().create_task(self._run())
+
+    # ------------------------------------------------------------------ #
+    def _reject(self, count: int, detail: str) -> None:
+        self.session.metrics.counters["rejected_over_budget"].add(count)
+        raise Backpressure(
+            f"session {self.session.name!r} queue is full ({detail}); "
+            "retry after the backlog drains"
+        )
+
+    def _enqueue(self, op: str, u: int, v: int) -> asyncio.Future:
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((op, u, v, future))
+        self.session.metrics.set_queue_depth(self._queue.qsize())
+        return future
+
+    async def submit(self, op: str, u: int, v: int) -> dict:
+        """Queue one update; await and return its applied record.
+
+        Raises :class:`Backpressure` when the queue is full and
+        :class:`~repro.service.session.UpdateError` when the session
+        rejects the update itself.
+        """
+        if self._closed:
+            raise Backpressure("batcher is closed")
+        if self._queue.qsize() + 1 > self.max_queue:
+            self._reject(1, f"depth {self._queue.qsize()}/{self.max_queue}")
+        return await self._enqueue(op, u, v)
+
+    async def submit_batch(self, updates: list[tuple[str, int, int]]) -> list[dict]:
+        """Queue many updates atomically; return per-update outcomes.
+
+        Admission is all-or-nothing (the whole batch is rejected when
+        it does not fit).  Each returned element is either the applied
+        record or ``{"error": code, "message": ...}`` — one bad update
+        does not poison its batch-mates.
+        """
+        if self._closed:
+            raise Backpressure("batcher is closed")
+        if self._queue.qsize() + len(updates) > self.max_queue:
+            self._reject(
+                len(updates),
+                f"batch of {len(updates)} vs depth "
+                f"{self._queue.qsize()}/{self.max_queue}",
+            )
+        futures = [self._enqueue(op, u, v) for op, u, v in updates]
+        outcomes: list[dict] = []
+        for future in futures:
+            try:
+                outcomes.append(await future)
+            except UpdateError as exc:
+                outcomes.append({"error": exc.code, "message": str(exc)})
+        return outcomes
+
+    # ------------------------------------------------------------------ #
+    async def _run(self) -> None:
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self.session.metrics.set_queue_depth(self._queue.qsize())
+            start = now()
+            results: list[tuple[asyncio.Future, dict | UpdateError]] = []
+            applied = 0
+            for op, u, v, future in batch:
+                try:
+                    record = self.session.apply(op, u, v)
+                    applied += 1
+                    results.append((future, record))
+                except UpdateError as exc:
+                    results.append((future, exc))
+            self.session.flush_journal()
+            elapsed = now() - start
+            per_update = elapsed / len(batch)
+            for _ in range(applied):
+                self.session.metrics.latency.record(per_update)
+            self.session.metrics.counters["batches"].increment()
+            for future, outcome in results:
+                if future.cancelled():
+                    continue
+                if isinstance(outcome, UpdateError):
+                    future.set_exception(outcome)
+                else:
+                    future.set_result(outcome)
+            for _ in batch:
+                self._queue.task_done()
+
+    async def close(self) -> None:
+        """Drain pending updates, then stop the worker task."""
+        self._closed = True
+        await self._queue.join()
+        self._worker.cancel()
+        with suppress(asyncio.CancelledError):
+            await self._worker

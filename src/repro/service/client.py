@@ -1,0 +1,221 @@
+"""Client library for the dynamic-matching server.
+
+Two layers:
+
+* :class:`AsyncServiceClient` — asyncio streams, one request/response
+  per :meth:`~AsyncServiceClient.call`.
+* :class:`ServiceClient` — the synchronous wrapper most callers want:
+  it owns a private event loop and drives the async client under the
+  hood, so scripts, tests, and the load generator need no asyncio of
+  their own.
+
+Failures come back as :class:`ServiceError` carrying the server's
+stable error code (``backpressure``, ``bad-update``, …), so callers
+can branch on ``exc.code`` rather than parsing messages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.matching.matching import Matching
+from repro.service.protocol import encode
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false``.
+
+    Attributes
+    ----------
+    code:
+        The response's stable error code.
+    response:
+        The full decoded response object.
+    """
+
+    def __init__(self, response: dict) -> None:
+        """Wrap a failure response envelope."""
+        super().__init__(
+            f"{response.get('error', 'error')}: "
+            f"{response.get('message', '(no message)')}"
+        )
+        self.code = response.get("error", "error")
+        self.response = response
+
+
+class AsyncServiceClient:
+    """Asyncio client speaking ``repro-service-v1`` over one connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        """Record the server address; call :meth:`connect` before use."""
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        """Open the TCP connection."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def call(self, request: dict, check: bool = True) -> dict:
+        """Send one request and await its response.
+
+        With ``check`` (the default), an ``ok: false`` response raises
+        :class:`ServiceError`; pass ``check=False`` to receive the raw
+        envelope instead.
+        """
+        if self._reader is None or self._writer is None:
+            raise RuntimeError("client is not connected; call connect() first")
+        self._writer.write(encode(request))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if check and not response.get("ok", False):
+            raise ServiceError(response)
+        return response
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._reader = self._writer = None
+
+
+class ServiceClient:
+    """Synchronous client: a blocking facade over the async client.
+
+    Parameters
+    ----------
+    host, port:
+        Server address (connects immediately).
+
+    Examples
+    --------
+    ::
+
+        client = ServiceClient(host, port)
+        client.create("jobs", num_vertices=64, beta=1, epsilon=0.4, seed=0)
+        client.insert("jobs", 0, 1)
+        print(client.query_matching("jobs")["size"])
+        client.close()
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        """Connect to the server at ``host:port``."""
+        self._loop = asyncio.new_event_loop()
+        self._async = AsyncServiceClient(host, port)
+        self._run(self._async.connect())
+
+    def _run(self, coroutine):
+        return self._loop.run_until_complete(coroutine)
+
+    def call(self, request: dict, check: bool = True) -> dict:
+        """Send one raw request dict; see :meth:`AsyncServiceClient.call`."""
+        return self._run(self._async.call(request, check=check))
+
+    # ------------------------------------------------------------------ #
+    # Op conveniences                                                    #
+    # ------------------------------------------------------------------ #
+    def ping(self) -> dict:
+        """Liveness probe; returns the protocol banner."""
+        return self.call({"op": "ping"})
+
+    def create(
+        self,
+        session: str,
+        num_vertices: int,
+        beta: int,
+        epsilon: float,
+        backend: str = "lazy_rebuild",
+        seed: int | None = None,
+        journal: bool = True,
+        budget_ms: float | None = None,
+    ) -> dict:
+        """Create a named session on the server."""
+        request: dict[str, Any] = {
+            "op": "create", "session": session,
+            "num_vertices": num_vertices, "beta": beta, "epsilon": epsilon,
+            "backend": backend, "journal": journal,
+        }
+        if seed is not None:
+            request["seed"] = seed
+        if budget_ms is not None:
+            request["budget_ms"] = budget_ms
+        return self.call(request)
+
+    def insert(self, session: str, u: int, v: int) -> dict:
+        """Insert edge {u, v} (queued through the micro-batcher)."""
+        return self.call({"op": "insert", "session": session, "u": u, "v": v})
+
+    def delete(self, session: str, u: int, v: int) -> dict:
+        """Delete edge {u, v} (queued through the micro-batcher)."""
+        return self.call({"op": "delete", "session": session, "u": u, "v": v})
+
+    def batch(
+        self, session: str, updates: Iterable[Sequence], check: bool = True
+    ) -> dict:
+        """Apply many ``(op, u, v)`` updates as one admission unit."""
+        return self.call(
+            {"op": "batch", "session": session,
+             "updates": [[op, int(u), int(v)] for op, u, v in updates]},
+            check=check,
+        )
+
+    def query_matching(self, session: str) -> dict:
+        """The current output matching: ``{"size", "edges"}``."""
+        return self.call({"op": "query_matching", "session": session})
+
+    def matching(self, session: str, num_vertices: int | None = None) -> Matching:
+        """The current output matching as a :class:`Matching` object.
+
+        Pass ``num_vertices`` when known (saves a ``stats`` round-trip).
+        """
+        payload = self.query_matching(session)
+        if num_vertices is None:
+            num_vertices = self.stats(session)["num_vertices"]
+        return Matching.from_edges(
+            num_vertices, [(u, v) for u, v in payload["edges"]]
+        )
+
+    def stats(self, session: str) -> dict:
+        """The session's metrics snapshot."""
+        return self.call({"op": "stats", "session": session})
+
+    def snapshot(self, session: str) -> dict:
+        """Graph + sparsifier edge sets and the state fingerprint."""
+        return self.call({"op": "snapshot", "session": session})
+
+    def close_session(self, session: str) -> dict:
+        """Close a session (flushes and closes its replay journal)."""
+        return self.call({"op": "close", "session": session})
+
+    def sessions(self) -> list[str]:
+        """Names of live sessions on the server."""
+        return self.call({"op": "sessions"})["sessions"]
+
+    def shutdown(self) -> dict:
+        """Stop the server (requires ``allow_shutdown`` server-side)."""
+        return self.call({"op": "shutdown"})
+
+    def close(self) -> None:
+        """Close the connection and the private event loop."""
+        self._run(self._async.close())
+        self._loop.close()
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry (connection already open)."""
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """Context-manager exit: close the client."""
+        self.close()

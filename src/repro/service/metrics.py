@@ -1,0 +1,116 @@
+"""Per-session service metrics: latency percentiles, counters, queues.
+
+Latency is *measured* wall-clock time (via
+:func:`repro.instrument.timers.now`, the R2-sanctioned clock) and is
+strictly observational: no control-flow that affects matching output
+ever reads it, so replay determinism is untouched.  The *budget* the
+percentiles are judged against comes in two forms:
+
+* a **work budget** in rebuild chunks, derived from the Theorem 3.5
+  bound (see :func:`repro.service.session.theorem_work_budget`) and
+  enforced deterministically by the matcher; and
+* a **latency budget** in milliseconds (the SLO counterpart), against
+  which every recorded sample is compared — samples over budget bump
+  the ``over_budget`` count, and admission control rejects work when
+  queues exceed their bound (``rejected_over_budget``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.instrument.counters import CounterSet
+
+#: Default per-update latency budget (milliseconds) when a session does
+#: not configure one.  Generous for the pure-python update path; the
+#: benchmark asserts real p99 sits far below it.
+DEFAULT_BUDGET_MS = 50.0
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (q in [0, 100]).
+
+    Deterministic and simple (no interpolation): the value at rank
+    ``ceil(q/100 * n)`` of the sorted samples.  Returns 0.0 for an
+    empty list.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must lie in [0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = max(1, -(-int(q * len(ordered)) // 100))  # ceil without math
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects per-update latency samples against a budget.
+
+    Attributes
+    ----------
+    budget_ms:
+        The configured per-update latency budget in milliseconds.
+    samples_ms:
+        All recorded samples (milliseconds).  Bounded workloads only;
+        the service records one sample per applied update.
+    over_budget:
+        How many samples exceeded ``budget_ms``.
+    """
+
+    budget_ms: float = DEFAULT_BUDGET_MS
+    samples_ms: list[float] = field(default_factory=list)
+    over_budget: int = 0
+
+    def record(self, seconds: float) -> None:
+        """Record one latency sample given in seconds."""
+        ms = seconds * 1000.0
+        self.samples_ms.append(ms)
+        if ms > self.budget_ms:
+            self.over_budget += 1
+
+    def snapshot(self) -> dict:
+        """Percentile summary: count, p50/p95/p99/max ms, budget, misses."""
+        return {
+            "count": len(self.samples_ms),
+            "p50_ms": round(percentile(self.samples_ms, 50.0), 4),
+            "p95_ms": round(percentile(self.samples_ms, 95.0), 4),
+            "p99_ms": round(percentile(self.samples_ms, 99.0), 4),
+            "max_ms": round(max(self.samples_ms, default=0.0), 4),
+            "budget_ms": self.budget_ms,
+            "over_budget": self.over_budget,
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """One session's operational metrics bundle.
+
+    Counters (``updates``, ``inserts``, ``deletes``, ``batches``,
+    ``queries``, ``rejected_over_budget``) live in a
+    :class:`~repro.instrument.counters.CounterSet`; latency in a
+    :class:`LatencyRecorder`; queue depth as a gauge with a
+    high-water mark.
+    """
+
+    counters: CounterSet = field(default_factory=CounterSet)
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Update the queue-depth gauge (tracks the high-water mark)."""
+        self.queue_depth = depth
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of every metric in the bundle."""
+        return {
+            "counters": self.counters.snapshot(),
+            "latency": self.latency.snapshot(),
+            "queue": {
+                "depth": self.queue_depth,
+                "max_depth": self.max_queue_depth,
+            },
+        }

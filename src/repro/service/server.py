@@ -1,0 +1,356 @@
+"""The asyncio JSON-lines TCP server hosting matching sessions.
+
+:class:`MatchingService` is the op dispatcher (transport-free, so tests
+can drive it directly); :meth:`MatchingService.serve_forever` binds it
+to a TCP socket.  Each connection is read line-by-line; every request
+becomes its own task and responses are written back *in request order*,
+so a pipelining client can keep many updates in flight — which is what
+lets the per-session :class:`~repro.service.batching.MicroBatcher`
+coalesce them into bounded batches even from a single connection.
+
+Responses echo the request's optional ``id`` field verbatim for client
+correlation.  Unknown session names, malformed requests, rejected
+updates and backpressure all map to stable error codes
+(:mod:`repro.service.protocol`); unexpected exceptions are caught and
+reported as ``internal`` without killing the connection.
+
+:class:`BackgroundServer` runs the whole thing on an ephemeral port in
+a daemon thread — the harness used by the test-suite, the benchmark,
+and ``examples/service_demo.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import threading
+from pathlib import Path
+
+from repro.service import protocol
+from repro.service.batching import Backpressure, MicroBatcher
+from repro.service.journal import ReplayJournal
+from repro.service.metrics import DEFAULT_BUDGET_MS
+from repro.service.protocol import (
+    ProtocolError,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.service.session import Session, UpdateError
+
+_EOF = object()
+
+
+class MatchingService:
+    """Session registry + op dispatcher for the dynamic-matching server.
+
+    Parameters
+    ----------
+    journal_dir:
+        Directory for per-session replay journals
+        (``<journal_dir>/<session>.jsonl``); ``None`` disables journaling.
+    max_batch:
+        Micro-batch bound handed to every session's batcher.
+    max_queue:
+        Queue bound (backpressure threshold) per session.
+    budget_ms:
+        Default per-update latency budget for session metrics.
+    allow_shutdown:
+        Whether the ``shutdown`` op is honored (CI and benchmarks turn
+        this on; a long-lived server should not).
+    """
+
+    def __init__(
+        self,
+        journal_dir: str | Path | None = None,
+        max_batch: int = 32,
+        max_queue: int = 1024,
+        budget_ms: float = DEFAULT_BUDGET_MS,
+        allow_shutdown: bool = False,
+    ) -> None:
+        """Configure the service; no sockets are touched until served."""
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.budget_ms = budget_ms
+        self.allow_shutdown = allow_shutdown
+        self.sessions: dict[str, Session] = {}
+        self.batchers: dict[str, MicroBatcher] = {}
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    # Op handlers                                                        #
+    # ------------------------------------------------------------------ #
+    def _session(self, request: dict) -> Session:
+        name = request["session"]
+        if name not in self.sessions:
+            raise ProtocolError("no-such-session", f"no session {name!r}")
+        return self.sessions[name]
+
+    async def _handle_create(self, request: dict) -> dict:
+        name = request["session"]
+        if name in self.sessions:
+            raise ProtocolError("session-exists",
+                                f"session {name!r} already exists")
+        journal = None
+        want_journal = bool(request.get("journal", True))
+        if want_journal and self.journal_dir is not None:
+            journal = ReplayJournal(self.journal_dir / f"{name}.jsonl")
+        session = Session(
+            name=name,
+            num_vertices=int(request["num_vertices"]),
+            beta=int(request["beta"]),
+            epsilon=float(request["epsilon"]),
+            backend=request.get("backend", "lazy_rebuild"),
+            seed=request.get("seed"),
+            journal=journal,
+            budget_ms=float(request.get("budget_ms", self.budget_ms)),
+        )
+        self.sessions[name] = session
+        self.batchers[name] = MicroBatcher(
+            session, max_batch=self.max_batch, max_queue=self.max_queue
+        )
+        return ok_response(
+            created=name,
+            backend=session.backend,
+            delta=session.delta,
+            work_budget_chunks=session.work_budget,
+            journaled=journal is not None,
+        )
+
+    async def _handle_update(self, request: dict) -> dict:
+        session = self._session(request)
+        record = await self.batchers[session.name].submit(
+            request["op"], int(request["u"]), int(request["v"])
+        )
+        return ok_response(**record)
+
+    async def _handle_batch(self, request: dict) -> dict:
+        session = self._session(request)
+        updates = [(op, int(u), int(v)) for op, u, v in request["updates"]]
+        outcomes = await self.batchers[session.name].submit_batch(updates)
+        applied = sum(1 for outcome in outcomes if "error" not in outcome)
+        return ok_response(applied=applied, results=outcomes)
+
+    async def _handle_close(self, request: dict) -> dict:
+        session = self._session(request)
+        await self.batchers.pop(session.name).close()
+        session.close()
+        del self.sessions[session.name]
+        return ok_response(closed=session.name, seq=session.seq)
+
+    async def handle_request(self, request: dict) -> dict:
+        """Dispatch one validated request to its handler."""
+        op = request["op"]
+        if op == "ping":
+            return ok_response(protocol=protocol.PROTOCOL)
+        if op == "sessions":
+            return ok_response(sessions=sorted(self.sessions))
+        if op == "shutdown":
+            if not self.allow_shutdown:
+                raise ProtocolError(
+                    "shutdown-disabled",
+                    "server was started without allow_shutdown",
+                )
+            self._shutdown.set()
+            return ok_response(shutting_down=True)
+        if op == "create":
+            return await self._handle_create(request)
+        if op in ("insert", "delete"):
+            return await self._handle_update(request)
+        if op == "batch":
+            return await self._handle_batch(request)
+        if op == "close":
+            return await self._handle_close(request)
+        session = self._session(request)
+        if op == "query_matching":
+            session.metrics.counters["queries"].increment()
+            return ok_response(**session.matching_payload())
+        if op == "stats":
+            return ok_response(**session.stats_payload())
+        if op == "snapshot":
+            return ok_response(**session.snapshot_payload())
+        raise ProtocolError("unknown-op", f"unhandled op {op!r}")
+
+    async def _respond(self, line: str) -> dict:
+        """Parse + dispatch one raw request line into a response dict."""
+        request_id = None
+        try:
+            request = parse_request(line)
+            request_id = request.get("id")
+            response = await self.handle_request(request)
+        except ProtocolError as exc:
+            response = error_response(exc.code, str(exc))
+        except UpdateError as exc:
+            response = error_response(exc.code, str(exc))
+        except Backpressure as exc:
+            response = error_response(exc.code, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            response = error_response("internal", f"{type(exc).__name__}: {exc}")
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Transport                                                          #
+    # ------------------------------------------------------------------ #
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one client connection (in-order pipelined responses)."""
+        loop = asyncio.get_running_loop()
+        outbox: asyncio.Queue = asyncio.Queue()
+
+        async def write_responses() -> None:
+            while True:
+                task = await outbox.get()
+                if task is _EOF:
+                    return
+                writer.write(encode(await task))
+                await writer.drain()
+
+        writer_task = loop.create_task(write_responses())
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                outbox.put_nowait(loop.create_task(
+                    self._respond(line.decode("utf-8", "replace"))
+                ))
+            outbox.put_nowait(_EOF)
+            await writer_task
+        except ConnectionResetError:  # pragma: no cover - client vanished
+            writer_task.cancel()
+        except asyncio.CancelledError:
+            # Server shutdown cancels live connection tasks; swallow the
+            # cancellation (instead of re-raising into asyncio's stream
+            # callback, which would log it) and fall through to cleanup.
+            writer_task.cancel()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                # CancelledError lands here when shutdown cancels the
+                # task mid-wait; completing normally keeps asyncio's
+                # stream callback from logging a spurious traceback.
+                pass
+
+    async def close_all(self) -> None:
+        """Drain every batcher and close every session (and journal)."""
+        for name in sorted(self.batchers):
+            await self.batchers[name].close()
+        for name in sorted(self.sessions):
+            self.sessions[name].close()
+        self.batchers.clear()
+        self.sessions.clear()
+
+    def request_shutdown(self) -> None:
+        """Ask a running :meth:`serve_forever` to stop (thread-safe only
+        via ``loop.call_soon_threadsafe``)."""
+        self._shutdown.set()
+
+    async def serve_forever(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        announce: bool = False,
+        on_ready=None,
+    ) -> None:
+        """Bind, serve until a shutdown is requested, then clean up.
+
+        ``port=0`` binds an ephemeral port; ``on_ready(host, port)`` is
+        called once listening (the :class:`BackgroundServer` hook) and
+        ``announce=True`` prints the address for shell scripts.
+        """
+        server = await asyncio.start_server(self.handle_connection, host, port)
+        bound_host, bound_port = server.sockets[0].getsockname()[:2]
+        if announce:
+            print(f"repro-service listening on {bound_host}:{bound_port}",
+                  flush=True)
+        if on_ready is not None:
+            on_ready(bound_host, bound_port)
+        async with server:
+            await self._shutdown.wait()
+        await self.close_all()
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    journal_dir: str | Path | None = None,
+    max_batch: int = 32,
+    max_queue: int = 1024,
+    budget_ms: float = DEFAULT_BUDGET_MS,
+    allow_shutdown: bool = False,
+) -> int:
+    """Blocking entry point for ``repro-experiments serve``.
+
+    Runs until the process is killed or a client issues ``shutdown``
+    (when ``allow_shutdown``).  Returns 0 on clean shutdown.
+    """
+    service = MatchingService(
+        journal_dir=journal_dir,
+        max_batch=max_batch,
+        max_queue=max_queue,
+        budget_ms=budget_ms,
+        allow_shutdown=allow_shutdown,
+    )
+    try:
+        asyncio.run(service.serve_forever(host, port, announce=True))
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+class BackgroundServer:
+    """A server on an ephemeral port in a daemon thread (tests/benchmarks).
+
+    Usage::
+
+        with BackgroundServer(journal_dir=tmp) as server:
+            client = ServiceClient(server.host, server.port)
+            ...
+
+    The context manager waits until the socket is listening on entry
+    and requests a clean shutdown (draining batchers, closing
+    journals) on exit.
+    """
+
+    def __init__(self, **config) -> None:
+        """Store the :class:`MatchingService` configuration."""
+        config.setdefault("allow_shutdown", True)
+        self.service = MatchingService(**config)
+        self.host: str | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+
+            def ready(host: str, port: int) -> None:
+                self.host, self.port = host, port
+                self._ready.set()
+
+            await self.service.serve_forever(on_ready=ready)
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "BackgroundServer":
+        """Start the thread and block until the server is listening."""
+        self._thread.start()
+        if not self._ready.wait(timeout=30):  # pragma: no cover - hang guard
+            raise RuntimeError("background server failed to start")
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """Request shutdown and join the server thread."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.service.request_shutdown)
+        self._thread.join(timeout=30)

@@ -1,0 +1,353 @@
+"""A served graph session: sparsifier + matcher backend + certificates.
+
+A :class:`Session` is the unit the server multiplexes.  It owns
+
+* a maintained :class:`~repro.dynamic.dynamic_sparsifier.DynamicSparsifier`
+  (the G_Δ of Section 3.3, queryable via the ``snapshot`` op),
+* a pluggable dynamic-matcher **backend** answering ``query_matching``
+  (:data:`BACKENDS`: ``lazy_rebuild`` — the adaptive-adversary-safe
+  Theorem 3.5 algorithm, the default; ``oblivious`` — the maintained-
+  sparsifier variant, oblivious-safe only; ``baseline`` — the
+  deterministic 2-approximation), and
+* a :class:`~repro.dynamic.stability.StabilityTracker` restarted at
+  every completed rebuild, so ``stats`` can report the approximation
+  factor Lemma 3.4 *certifies* right now, not just measurements.
+
+Determinism: the session's root generator is resolved once from
+``seed=``/``rng=``; its :class:`~repro.instrument.rng.RngSpec` is
+captured before any draw and recorded in the replay journal header, and
+the sparsifier/backend streams are spawned children, so replaying the
+journaled update sequence through a fresh session rebuilds the *same*
+streams and therefore a byte-identical matching and fingerprint.  Under
+``REPRO_RNG_SANITIZE=1`` the streams are draw-counted and the replay
+contract additionally compares their fingerprints.
+
+The per-update **work budget** is derived from the Theorem 3.5 bound
+(:func:`theorem_work_budget`) and handed to the ``lazy_rebuild``
+backend as a hard ``max_chunks_per_update`` cap, making the theorem's
+worst-case guarantee the service's admission-control primitive.
+"""
+
+from __future__ import annotations
+
+import math
+from hashlib import sha256
+from typing import Callable
+
+import numpy as np
+
+from repro.core.delta import DeltaPolicy
+from repro.dynamic.baseline import DynamicMaximalMatching
+from repro.dynamic.dynamic_sparsifier import DynamicSparsifier
+from repro.dynamic.lazy_rebuild import LazyRebuildMatching
+from repro.dynamic.oblivious import ObliviousDynamicMatching
+from repro.dynamic.stability import StabilityTracker
+from repro.instrument.rng import (
+    RngFingerprint,
+    RngSpec,
+    SanitizedGenerator,
+    resolve_rng,
+    rng_sanitize_enabled,
+    rng_spec,
+    sanitize_rng,
+)
+from repro.matching.matching import Matching
+from repro.service.journal import ReplayJournal
+from repro.service.metrics import DEFAULT_BUDGET_MS, ServiceMetrics
+
+
+class UpdateError(ValueError):
+    """An update the session refuses (bad endpoints, absent edge, …).
+
+    Attributes
+    ----------
+    code:
+        Stable protocol error code (``bad-update``).
+    """
+
+    def __init__(self, message: str) -> None:
+        """Record the rejection reason."""
+        super().__init__(message)
+        self.code = "bad-update"
+
+
+def theorem_work_budget(beta: int, epsilon: float, constant: float = 8.0) -> int:
+    """Per-update work cap in rebuild chunks from the Theorem 3.5 bound.
+
+    The theorem's worst-case update time is O(β/ε³·log(1/ε)); this
+    returns ``ceil(constant · β/ε³ · ln(1/ε))`` (floored at 1 chunk so
+    rebuilds always make progress).  The ``lazy_rebuild`` backend takes
+    it as a hard ``max_chunks_per_update``; quality under the cap is
+    measured, never assumed (Lemma 3.4 stretches gracefully).
+    """
+    if beta < 1:
+        raise ValueError(f"beta must be >= 1, got {beta}")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    bound = constant * (beta / epsilon**3) * math.log(1.0 / epsilon)
+    return max(1, math.ceil(bound))
+
+
+def _make_lazy_rebuild(num_vertices, beta, epsilon, rng, work_budget):
+    """Theorem 3.5 windowed-rebuild matcher (adaptive-adversary safe)."""
+    return LazyRebuildMatching(
+        num_vertices, beta, epsilon, rng=rng,
+        max_chunks_per_update=work_budget,
+    )
+
+
+def _make_oblivious(num_vertices, beta, epsilon, rng, work_budget):
+    """Maintained-sparsifier matcher (oblivious adversaries only)."""
+    return ObliviousDynamicMatching(num_vertices, beta, epsilon, rng=rng)
+
+
+def _make_baseline(num_vertices, beta, epsilon, rng, work_budget):
+    """Deterministic 2-approximation baseline (ignores ε and the RNG)."""
+    return DynamicMaximalMatching(num_vertices)
+
+
+#: Backend registry: name → factory(num_vertices, beta, epsilon, rng,
+#: work_budget).  Every backend exposes ``update(op, u, v)``,
+#: ``matching``, ``work_log`` and ``max_work_per_update()``.
+BACKENDS: dict[str, Callable] = {
+    "lazy_rebuild": _make_lazy_rebuild,
+    "oblivious": _make_oblivious,
+    "baseline": _make_baseline,
+}
+
+
+class Session:
+    """One named dynamic-matching session (see module docstring).
+
+    Parameters
+    ----------
+    name:
+        Session identifier (the journal records it).
+    num_vertices:
+        Fixed vertex set size.
+    beta:
+        Neighborhood-independence bound the update stream promises.
+    epsilon:
+        Target approximation slack.
+    backend:
+        Key into :data:`BACKENDS` (default ``lazy_rebuild``).
+    rng:
+        Existing generator to adopt (replay passes one rebuilt from the
+        journal's RngSpec).
+    journal:
+        Open :class:`~repro.service.journal.ReplayJournal` to append
+        applied updates to, or ``None``.
+    budget_ms:
+        Per-update latency budget for the metrics layer.
+    seed:
+        Integer root seed (the usual client-facing form).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_vertices: int,
+        beta: int,
+        epsilon: float,
+        backend: str = "lazy_rebuild",
+        rng: np.random.Generator | int | None = None,
+        journal: ReplayJournal | None = None,
+        budget_ms: float = DEFAULT_BUDGET_MS,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        if num_vertices < 1:
+            raise ValueError(f"num_vertices must be >= 1, got {num_vertices}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from "
+                f"{sorted(BACKENDS)}"
+            )
+        self.name = name
+        self.num_vertices = num_vertices
+        self.beta = beta
+        self.epsilon = epsilon
+        self.backend = backend
+        root = resolve_rng(seed=seed, rng=rng, owner="Session")
+        if rng_sanitize_enabled():
+            root = sanitize_rng(root)
+        #: Stream identity of the root generator, captured before any
+        #: draw — what the replay journal header records.
+        self.rng_spec: RngSpec = rng_spec(root)
+        sparsifier_rng, matcher_rng = root.spawn(2)
+        self._child_rngs = (sparsifier_rng, matcher_rng)
+        policy = DeltaPolicy.practical()
+        self.delta = policy.delta(beta, epsilon, num_vertices)
+        self.work_budget = theorem_work_budget(beta, epsilon)
+        self.sparsifier = DynamicSparsifier(
+            num_vertices, self.delta, rng=sparsifier_rng
+        )
+        self.matcher = BACKENDS[backend](
+            num_vertices, beta, epsilon, matcher_rng, self.work_budget
+        )
+        self.journal = journal
+        self.metrics = ServiceMetrics()
+        self.metrics.latency.budget_ms = budget_ms
+        self.seq = 0
+        self._tracker: StabilityTracker | None = None
+        self._tracked_rebuilds = -1
+        if journal is not None:
+            journal.write_header(self)
+
+    # ------------------------------------------------------------------ #
+    # Updates                                                            #
+    # ------------------------------------------------------------------ #
+    def _validate(self, op: str, u: int, v: int) -> None:
+        n = self.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise UpdateError(
+                f"endpoints ({u}, {v}) out of range for {n} vertices"
+            )
+        if u == v:
+            raise UpdateError(f"self-loop ({u}, {v})")
+        present = self.sparsifier.graph.has_edge(u, v)
+        if op == "insert" and present:
+            raise UpdateError(f"edge ({u}, {v}) already present")
+        if op == "delete" and not present:
+            raise UpdateError(f"edge ({u}, {v}) not present")
+
+    def apply(self, op: str, u: int, v: int) -> dict:
+        """Validate and apply one update to sparsifier + backend.
+
+        Returns an applied-update record ``{"seq", "op", "work"}``;
+        raises :class:`UpdateError` (nothing applied, nothing
+        journaled) for invalid updates.  The journal line is written
+        immediately; flushing is batched by the caller
+        (:meth:`flush_journal`).
+        """
+        if op not in ("insert", "delete"):
+            raise UpdateError(f"unknown update op {op!r}")
+        self._validate(op, u, v)
+        self.sparsifier.update(op, u, v)
+        self.matcher.update(op, u, v)
+        self.seq += 1
+        if self.journal is not None:
+            self.journal.record(self.seq, op, u, v)
+        self._advance_certificate(op, u, v)
+        work = self.matcher.work_log[-1] if self.matcher.work_log else 0
+        self.metrics.counters["updates"].increment()
+        self.metrics.counters["inserts" if op == "insert" else "deletes"].increment()
+        return {"seq": self.seq, "op": op, "work": int(work)}
+
+    def flush_journal(self) -> None:
+        """Flush buffered journal lines (called once per micro-batch)."""
+        if self.journal is not None:
+            self.journal.flush()
+
+    # ------------------------------------------------------------------ #
+    # Stability certificate (Lemma 3.4)                                  #
+    # ------------------------------------------------------------------ #
+    def _advance_certificate(self, op: str, u: int, v: int) -> None:
+        rebuilds = getattr(self.matcher, "rebuilds_completed", None)
+        if rebuilds is None:
+            return
+        if rebuilds != self._tracked_rebuilds:
+            self._tracker = StabilityTracker(self.matcher.matching, self.epsilon)
+            self._tracked_rebuilds = rebuilds
+        elif self._tracker is not None:
+            if op == "insert":
+                self._tracker.on_insert(u, v)
+            else:
+                self._tracker.on_delete(u, v)
+
+    def certified_factor(self) -> float | None:
+        """The Lemma 3.4 factor certified since the last rebuild.
+
+        ``None`` for backends without windowed rebuilds (``baseline``)
+        or when the certificate is vacuous (window overrun → ∞).
+        """
+        if self._tracker is None:
+            return None
+        factor = self._tracker.guaranteed_factor()
+        return None if math.isinf(factor) else factor
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+    @property
+    def matching(self) -> Matching:
+        """The backend's current output matching."""
+        return self.matcher.matching
+
+    def matching_payload(self) -> dict:
+        """JSON-ready matching: ``{"size", "edges"}`` with sorted edges."""
+        matching = self.matching
+        return {
+            "size": matching.size,
+            "edges": [[int(u), int(v)] for u, v in sorted(matching.edges())],
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 digest of the session's full replayable state.
+
+        Covers the output matching (mate array bytes), the maintained
+        sparsifier (sorted edges and per-vertex marks), the applied
+        sequence number, and the backend name — two sessions agree on
+        this hex string iff replay reproduced the state byte-for-byte.
+        """
+        digest = sha256()
+        digest.update(f"{self.backend}/{self.seq}/{self.num_vertices}".encode())
+        digest.update(self.matching.mate.tobytes())
+        for u, v in sorted(self.sparsifier.edges()):
+            digest.update(f"e{u},{v};".encode())
+        for v in range(self.num_vertices):
+            marks = ",".join(str(m) for m in sorted(self.sparsifier.marks(v)))
+            digest.update(f"m{v}:{marks};".encode())
+        return digest.hexdigest()
+
+    def rng_fingerprints(self) -> tuple[RngFingerprint, ...]:
+        """Draw-count fingerprints of the session's child streams.
+
+        Empty unless ``REPRO_RNG_SANITIZE=1`` wrapped the streams at
+        construction; the replay contract compares these to assert the
+        replayed session consumed the same randomness.
+        """
+        return tuple(
+            child.fingerprint() for child in self._child_rngs
+            if isinstance(child, SanitizedGenerator)
+        )
+
+    def snapshot_payload(self) -> dict:
+        """JSON-ready ``snapshot`` response: graph + G_Δ + fingerprint."""
+        return {
+            "num_vertices": self.num_vertices,
+            "seq": self.seq,
+            "graph_edges": [[int(u), int(v)]
+                            for u, v in sorted(self.sparsifier.graph.edges())],
+            "sparsifier_edges": [[int(u), int(v)]
+                                 for u, v in sorted(self.sparsifier.edges())],
+            "fingerprint": self.fingerprint(),
+        }
+
+    def stats_payload(self) -> dict:
+        """JSON-ready ``stats`` response (see docs/SERVICE.md)."""
+        payload = {
+            "session": self.name,
+            "backend": self.backend,
+            "num_vertices": self.num_vertices,
+            "beta": self.beta,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "seq": self.seq,
+            "work_budget_chunks": self.work_budget,
+            "max_work_per_update": self.matcher.max_work_per_update(),
+            "rebuilds_completed": getattr(
+                self.matcher, "rebuilds_completed", None
+            ),
+            "certified_factor": self.certified_factor(),
+            "matching_size": self.matching.size,
+            "graph_edges": self.sparsifier.graph.num_edges,
+            "sparsifier_edges": len(self.sparsifier.edges()),
+        }
+        payload.update(self.metrics.snapshot())
+        return payload
+
+    def close(self) -> None:
+        """Close the session's journal (idempotent)."""
+        if self.journal is not None:
+            self.journal.close()

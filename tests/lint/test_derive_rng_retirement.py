@@ -1,0 +1,77 @@
+"""The derive_rng deprecation is finished: only the shim remains.
+
+The pre-1.3 ``derive_rng`` helper survives solely as a warning-emitting
+alias in ``repro.instrument.rng`` for external callers.  These tests
+pin the end state: no module under ``src/repro`` references it (by
+import or by name) outside that one shim, it is not re-exported from
+the ``repro.instrument`` package, and the shim itself still works and
+still warns.
+"""
+
+import ast
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+pytestmark = pytest.mark.fast
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+SHIM = SRC / "instrument" / "rng.py"
+
+
+def referenced_names(tree: ast.AST) -> set[str]:
+    """Every identifier a module references: names, attributes, imports."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.ImportFrom):
+            names.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.Import):
+            names.update(alias.name.split(".")[-1] for alias in node.names)
+    return names
+
+
+class TestRetirement:
+    def test_no_module_references_derive_rng(self):
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            if path == SHIM:
+                continue  # the shim's own definition
+            tree = ast.parse(path.read_text(), filename=str(path))
+            if "derive_rng" in referenced_names(tree):
+                offenders.append(str(path.relative_to(SRC)))
+        assert offenders == [], (
+            "derive_rng is deprecated; these modules still reference it: "
+            f"{offenders}"
+        )
+
+    def test_not_reexported_from_instrument_package(self):
+        import repro.instrument as instrument
+
+        assert "derive_rng" not in instrument.__all__
+        assert "derive_rng" not in vars(instrument)
+
+    def test_shim_still_importable(self):
+        from repro.instrument.rng import derive_rng  # noqa: F401
+
+    def test_shim_warns_and_works(self):
+        from repro.instrument.rng import derive_rng
+
+        with pytest.warns(DeprecationWarning, match="resolve_rng"):
+            rng = derive_rng(7)
+        assert isinstance(rng, np.random.Generator)
+        generator = np.random.default_rng(0)
+        with pytest.warns(DeprecationWarning):
+            assert derive_rng(generator) is generator
+
+    def test_internal_suite_emits_no_deprecation_warning(self):
+        # Importing the whole public facade must not trip the shim.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            import repro.api  # noqa: F401
+            import repro.service  # noqa: F401

@@ -1,0 +1,147 @@
+"""Tests for the micro-batcher: coalescing, backpressure, atomicity."""
+
+import asyncio
+
+import pytest
+
+from repro.service.batching import Backpressure, MicroBatcher
+from repro.service.session import Session, UpdateError
+
+pytestmark = pytest.mark.fast
+
+
+def make_session(**kwargs):
+    kwargs.setdefault("num_vertices", 16)
+    kwargs.setdefault("beta", 1)
+    kwargs.setdefault("epsilon", 0.4)
+    kwargs.setdefault("seed", 0)
+    return Session("batch-test", **kwargs)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestSubmit:
+    def test_single_update_applied(self):
+        async def scenario():
+            session = make_session()
+            batcher = MicroBatcher(session)
+            record = await batcher.submit("insert", 0, 1)
+            await batcher.close()
+            return session, record
+
+        session, record = run(scenario())
+        assert record == {"seq": 1, "op": "insert", "work": record["work"]}
+        assert session.seq == 1
+        assert session.sparsifier.graph.has_edge(0, 1)
+
+    def test_update_error_propagates(self):
+        async def scenario():
+            session = make_session()
+            batcher = MicroBatcher(session)
+            await batcher.submit("insert", 0, 1)
+            try:
+                with pytest.raises(UpdateError):
+                    await batcher.submit("insert", 0, 1)
+            finally:
+                await batcher.close()
+
+        run(scenario())
+
+    def test_closed_batcher_rejects(self):
+        async def scenario():
+            batcher = MicroBatcher(make_session())
+            await batcher.close()
+            with pytest.raises(Backpressure):
+                await batcher.submit("insert", 0, 1)
+            with pytest.raises(Backpressure):
+                await batcher.submit_batch([("insert", 0, 1)])
+
+        run(scenario())
+
+    def test_requires_running_loop(self):
+        with pytest.raises(RuntimeError):
+            MicroBatcher(make_session())
+
+    def test_bad_bounds(self):
+        async def scenario():
+            with pytest.raises(ValueError):
+                MicroBatcher(make_session(), max_batch=0)
+            with pytest.raises(ValueError):
+                MicroBatcher(make_session(), max_queue=0)
+
+        run(scenario())
+
+
+class TestBatchSemantics:
+    def test_coalescing_into_bounded_batches(self):
+        # submit_batch enqueues synchronously, so the worker sees all ten
+        # updates at once and must split them into ceil(10/4) = 3 batches.
+        async def scenario():
+            session = make_session()
+            batcher = MicroBatcher(session, max_batch=4)
+            updates = [("insert", 2 * i, 2 * i + 1) for i in range(8)]
+            updates += [("delete", 0, 1), ("insert", 0, 1)]
+            outcomes = await batcher.submit_batch(updates)
+            await batcher.close()
+            return session, outcomes
+
+        session, outcomes = run(scenario())
+        assert len(outcomes) == 10
+        assert all("error" not in outcome for outcome in outcomes)
+        assert session.metrics.counters.value("batches") == 3
+        assert session.metrics.counters.value("updates") == 10
+        assert session.metrics.latency.snapshot()["count"] == 10
+        assert session.metrics.max_queue_depth == 10
+
+    def test_bad_update_does_not_poison_batch(self):
+        async def scenario():
+            session = make_session()
+            batcher = MicroBatcher(session)
+            outcomes = await batcher.submit_batch([
+                ("insert", 0, 1),
+                ("insert", 0, 1),   # duplicate: rejected
+                ("insert", 2, 3),
+            ])
+            await batcher.close()
+            return session, outcomes
+
+        session, outcomes = run(scenario())
+        assert "error" not in outcomes[0]
+        assert outcomes[1]["error"] == "bad-update"
+        assert "error" not in outcomes[2]
+        assert session.seq == 2
+        assert session.sparsifier.graph.has_edge(0, 1)
+        assert session.sparsifier.graph.has_edge(2, 3)
+
+    def test_batch_admission_is_all_or_nothing(self):
+        async def scenario():
+            session = make_session()
+            batcher = MicroBatcher(session, max_queue=4)
+            updates = [("insert", 2 * i, 2 * i + 1) for i in range(6)]
+            with pytest.raises(Backpressure):
+                await batcher.submit_batch(updates)
+            await batcher.close()
+            return session
+
+        session = run(scenario())
+        # Nothing was applied and the rejection was counted in full.
+        assert session.seq == 0
+        assert session.metrics.counters.value("rejected_over_budget") == 6
+
+    def test_updates_applied_in_submission_order(self):
+        async def scenario():
+            session = make_session()
+            batcher = MicroBatcher(session, max_batch=3)
+            outcomes = await batcher.submit_batch([
+                ("insert", 0, 1), ("delete", 0, 1), ("insert", 0, 1),
+                ("delete", 0, 1), ("insert", 0, 1),
+            ])
+            await batcher.close()
+            return session, outcomes
+
+        session, outcomes = run(scenario())
+        # Only valid if applied strictly in order across batch boundaries.
+        assert [outcome["seq"] for outcome in outcomes] == [1, 2, 3, 4, 5]
+        assert session.sparsifier.graph.has_edge(0, 1)

@@ -1,0 +1,172 @@
+"""Tests for the replay journal: format, fault tolerance, determinism."""
+
+import json
+
+import pytest
+
+from repro.contracts import ContractViolation, check_replay_sessions
+from repro.service.journal import (
+    JOURNAL_FORMAT,
+    JournalError,
+    ReplayJournal,
+    read_journal,
+    replay_journal,
+)
+from repro.service.session import Session
+
+pytestmark = pytest.mark.fast
+
+UPDATES = [("insert", 0, 1), ("insert", 1, 2), ("insert", 2, 3),
+           ("delete", 1, 2), ("insert", 4, 5), ("insert", 5, 6),
+           ("delete", 0, 1), ("insert", 0, 7)]
+
+
+def record_session(path, seed=3, updates=UPDATES):
+    session = Session(
+        "journal-test", num_vertices=8, beta=1, epsilon=0.4,
+        seed=seed, journal=ReplayJournal(path),
+    )
+    for op, u, v in updates:
+        session.apply(op, u, v)
+    session.flush_journal()
+    return session
+
+
+class TestFormat:
+    def test_header_fields(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        session = record_session(path)
+        header, updates = read_journal(path)
+        assert header["format"] == JOURNAL_FORMAT
+        assert header["session"] == "journal-test"
+        assert header["num_vertices"] == 8
+        assert header["backend"] == "lazy_rebuild"
+        assert header["rng"]["entropy"] == 3
+        assert header["delta"] == session.delta
+        assert len(updates) == len(UPDATES)
+        assert [u["seq"] for u in updates] == list(range(1, len(UPDATES) + 1))
+
+    def test_rejected_updates_not_journaled(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        session = Session("s", num_vertices=4, beta=1, epsilon=0.4,
+                          seed=0, journal=ReplayJournal(path))
+        session.apply("insert", 0, 1)
+        with pytest.raises(Exception):
+            session.apply("insert", 0, 1)  # duplicate: rejected
+        session.close()
+        _, updates = read_journal(path)
+        assert len(updates) == 1
+
+    def test_closed_journal_refuses_writes(self, tmp_path):
+        journal = ReplayJournal(tmp_path / "s.jsonl")
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(JournalError):
+            journal.record(1, "insert", 0, 1)
+
+
+class TestFaults:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(JournalError, match="no such journal"):
+            read_journal(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text("")
+        with pytest.raises(JournalError, match="empty journal"):
+            read_journal(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(JournalError, match="bad header"):
+            read_journal(path)
+
+    def test_unknown_format(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"format": "not-a-journal"}\n')
+        with pytest.raises(JournalError, match="unknown journal format"):
+            read_journal(path)
+
+    def test_truncated_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        record_session(path)
+        with path.open("a") as handle:
+            handle.write('{"seq": 99, "op": "ins')  # kill mid-append
+        _, updates = read_journal(path)
+        assert len(updates) == len(UPDATES)
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        record_session(path)
+        lines = path.read_text().splitlines()
+        lines[2] = "garbage"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="bad record"):
+            read_journal(path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        record_session(path)
+        lines = path.read_text().splitlines()
+        del lines[3]  # drop one interior update
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="sequence gap"):
+            read_journal(path)
+
+    def test_bad_op_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        record_session(path, updates=UPDATES[:2])
+        with path.open("a") as handle:
+            handle.write(json.dumps(
+                {"seq": 3, "op": "upsert", "u": 0, "v": 2}) + "\n")
+            handle.write(json.dumps(
+                {"seq": 4, "op": "insert", "u": 0, "v": 3}) + "\n")
+        with pytest.raises(JournalError, match="bad op"):
+            read_journal(path)
+
+
+class TestReplay:
+    def test_replay_is_byte_identical(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        recorded = record_session(path)
+        replayed = replay_journal(path)
+        assert replayed.seq == recorded.seq
+        assert (replayed.matching.mate.tobytes()
+                == recorded.matching.mate.tobytes())
+        assert replayed.fingerprint() == recorded.fingerprint()
+        check_replay_sessions(recorded, replayed)
+
+    def test_replay_under_sanitizer_checks_draw_counts(self, tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_RNG_SANITIZE", "1")
+        path = tmp_path / "s.jsonl"
+        recorded = record_session(path)
+        replayed = replay_journal(path)
+        assert recorded.rng_fingerprints() != ()
+        check_replay_sessions(recorded, replayed)
+
+    def test_contract_catches_divergence(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        recorded = record_session(path)
+        short = replay_journal(path, upto=3)
+        with pytest.raises(ContractViolation):
+            check_replay_sessions(recorded, short)
+
+    def test_upto_time_travel(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        record_session(path)
+        partial = replay_journal(path, upto=2)
+        assert partial.seq == 2
+        assert sorted(partial.sparsifier.graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_replay_bad_header_fields(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        record_session(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        del header["rng"]["entropy"]
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="bad header fields"):
+            replay_journal(path)

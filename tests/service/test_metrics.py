@@ -1,0 +1,80 @@
+"""Tests for latency percentiles, budgets, and the metrics bundle."""
+
+import pytest
+
+from repro.service.metrics import (
+    DEFAULT_BUDGET_MS,
+    LatencyRecorder,
+    ServiceMetrics,
+    percentile,
+)
+
+pytestmark = pytest.mark.fast
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99.0) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 50.0) == 7.0
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]  # 1..100
+        assert percentile(samples, 50.0) == 50.0
+        assert percentile(samples, 95.0) == 95.0
+        assert percentile(samples, 99.0) == 99.0
+        assert percentile(samples, 100.0) == 100.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestLatencyRecorder:
+    def test_records_in_ms(self):
+        recorder = LatencyRecorder(budget_ms=10.0)
+        recorder.record(0.002)  # 2 ms
+        assert recorder.samples_ms == [2.0]
+        assert recorder.over_budget == 0
+
+    def test_over_budget_counted(self):
+        recorder = LatencyRecorder(budget_ms=1.0)
+        recorder.record(0.0005)
+        recorder.record(0.0020)
+        recorder.record(0.0030)
+        assert recorder.over_budget == 2
+
+    def test_snapshot_shape(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.001)
+        snap = recorder.snapshot()
+        assert snap["count"] == 1
+        assert snap["budget_ms"] == DEFAULT_BUDGET_MS
+        assert set(snap) == {"count", "p50_ms", "p95_ms", "p99_ms",
+                             "max_ms", "budget_ms", "over_budget"}
+        assert snap["p50_ms"] == snap["p99_ms"] == snap["max_ms"] == 1.0
+
+
+class TestServiceMetrics:
+    def test_queue_depth_high_water_mark(self):
+        metrics = ServiceMetrics()
+        metrics.set_queue_depth(3)
+        metrics.set_queue_depth(9)
+        metrics.set_queue_depth(1)
+        assert metrics.queue_depth == 1
+        assert metrics.max_queue_depth == 9
+
+    def test_snapshot_shape(self):
+        metrics = ServiceMetrics()
+        metrics.counters["updates"].increment()
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"updates": 1}
+        assert snap["queue"] == {"depth": 0, "max_depth": 0}
+        assert snap["latency"]["count"] == 0

@@ -1,0 +1,113 @@
+"""Tests for the repro-service-v1 wire protocol layer."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    OPS,
+    PROTOCOL,
+    ProtocolError,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+pytestmark = pytest.mark.fast
+
+
+class TestParseRequest:
+    def test_valid_ping(self):
+        assert parse_request('{"op": "ping"}') == {"op": "ping"}
+
+    def test_valid_create(self):
+        request = parse_request(json.dumps({
+            "op": "create", "session": "s", "num_vertices": 8,
+            "beta": 1, "epsilon": 0.4,
+        }))
+        assert request["session"] == "s"
+
+    def test_epsilon_accepts_int(self):
+        # float-typed fields accept JSON integers.
+        parse_request(json.dumps({
+            "op": "create", "session": "s", "num_vertices": 8,
+            "beta": 1, "epsilon": 1,
+        }))
+
+    def test_not_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request("this is not json")
+        assert excinfo.value.code == "bad-request"
+
+    def test_not_an_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request("[1, 2, 3]")
+        assert excinfo.value.code == "bad-request"
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request('{"session": "s"}')
+        assert excinfo.value.code == "bad-request"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request('{"op": "frobnicate"}')
+        assert excinfo.value.code == "unknown-op"
+
+    def test_missing_required_field(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request('{"op": "insert", "session": "s", "u": 0}')
+        assert excinfo.value.code == "bad-request"
+        assert "'v'" in str(excinfo.value)
+
+    def test_wrong_field_type(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request('{"op": "insert", "session": "s", "u": "x", "v": 1}')
+        assert excinfo.value.code == "bad-request"
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(ProtocolError):
+            parse_request('{"op": "insert", "session": "s", "u": true, "v": 1}')
+
+    def test_batch_triples_validated(self):
+        good = {"op": "batch", "session": "s",
+                "updates": [["insert", 0, 1], ["delete", 0, 1]]}
+        assert len(parse_request(json.dumps(good))["updates"]) == 2
+        for bad_updates in (
+            [["insert", 0]],            # wrong arity
+            [["upsert", 0, 1]],         # bad op
+            [["insert", 0.5, 1]],       # non-int endpoint
+            ["insert"],                 # not a triple at all
+        ):
+            bad = {"op": "batch", "session": "s", "updates": bad_updates}
+            with pytest.raises(ProtocolError) as excinfo:
+                parse_request(json.dumps(bad))
+            assert excinfo.value.code == "bad-request"
+
+    def test_every_op_has_requirements_entry(self):
+        from repro.service.protocol import _REQUIRED
+
+        assert set(_REQUIRED) == set(OPS)
+
+
+class TestEnvelopes:
+    def test_encode_round_trips(self):
+        line = encode({"ok": True, "b": 2, "a": 1})
+        assert line.endswith(b"\n")
+        assert json.loads(line) == {"ok": True, "a": 1, "b": 2}
+
+    def test_encode_is_canonical(self):
+        # Sorted keys + compact separators: byte-identical for equal dicts.
+        assert encode({"b": 2, "a": 1}) == encode({"a": 1, "b": 2})
+
+    def test_ok_response(self):
+        assert ok_response(size=3) == {"ok": True, "size": 3}
+
+    def test_error_response(self):
+        response = error_response("bad-update", "nope")
+        assert response == {"ok": False, "error": "bad-update",
+                            "message": "nope"}
+
+    def test_protocol_banner(self):
+        assert PROTOCOL == "repro-service-v1"

@@ -1,0 +1,186 @@
+"""End-to-end TCP tests: server, client, error codes, pipelining."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import PROTOCOL
+from repro.service.server import BackgroundServer
+
+pytestmark = pytest.mark.fast
+
+
+@pytest.fixture
+def server(tmp_path):
+    with BackgroundServer(journal_dir=tmp_path / "journals") as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(server.host, server.port) as cli:
+        yield cli
+
+
+class TestLifecycle:
+    def test_ping(self, client):
+        assert client.ping()["protocol"] == PROTOCOL
+
+    def test_create_update_query(self, client):
+        created = client.create("s", num_vertices=8, beta=1, epsilon=0.4,
+                                seed=0)
+        assert created["backend"] == "lazy_rebuild"
+        assert created["journaled"] is True
+        assert created["work_budget_chunks"] >= 1
+        client.insert("s", 0, 1)
+        client.insert("s", 2, 3)
+        client.delete("s", 0, 1)
+        payload = client.query_matching("s")
+        assert payload["size"] == len(payload["edges"])
+        assert client.sessions() == ["s"]
+
+    def test_batch(self, client):
+        client.create("s", num_vertices=8, beta=1, epsilon=0.4, seed=0)
+        response = client.batch(
+            "s", [("insert", 0, 1), ("insert", 0, 1), ("insert", 2, 3)]
+        )
+        assert response["applied"] == 2
+        assert response["results"][1]["error"] == "bad-update"
+
+    def test_stats_and_snapshot(self, client):
+        client.create("s", num_vertices=8, beta=1, epsilon=0.4, seed=0,
+                      budget_ms=25.0)
+        client.insert("s", 0, 1)
+        stats = client.stats("s")
+        assert stats["seq"] == 1
+        assert stats["latency"]["budget_ms"] == 25.0
+        assert stats["latency"]["count"] == 1
+        assert stats["counters"]["updates"] == 1
+        snapshot = client.snapshot("s")
+        assert snapshot["graph_edges"] == [[0, 1]]
+        assert snapshot["fingerprint"]
+
+    def test_close_session_flushes_journal(self, server, client, tmp_path):
+        client.create("s", num_vertices=8, beta=1, epsilon=0.4, seed=0)
+        client.insert("s", 0, 1)
+        closed = client.close_session("s")
+        assert closed == {"ok": True, "closed": "s", "seq": 1}
+        assert client.sessions() == []
+        journal = tmp_path / "journals" / "s.jsonl"
+        assert len(journal.read_text().splitlines()) == 2  # header + 1
+
+    def test_journal_opt_out(self, client):
+        created = client.create("s", num_vertices=8, beta=1, epsilon=0.4,
+                                seed=0, journal=False)
+        assert created["journaled"] is False
+
+    def test_two_clients_one_session(self, server, client):
+        client.create("s", num_vertices=8, beta=1, epsilon=0.4, seed=0)
+        with ServiceClient(server.host, server.port) as other:
+            other.insert("s", 0, 1)
+            client.insert("s", 2, 3)
+            assert other.stats("s")["seq"] == 2
+
+
+class TestErrorCodes:
+    def test_no_such_session(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.insert("ghost", 0, 1)
+        assert excinfo.value.code == "no-such-session"
+
+    def test_session_exists(self, client):
+        client.create("s", num_vertices=8, beta=1, epsilon=0.4, seed=0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.create("s", num_vertices=8, beta=1, epsilon=0.4, seed=0)
+        assert excinfo.value.code == "session-exists"
+
+    def test_bad_update(self, client):
+        client.create("s", num_vertices=8, beta=1, epsilon=0.4, seed=0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.delete("s", 0, 1)
+        assert excinfo.value.code == "bad-update"
+
+    def test_unknown_op(self, client):
+        response = client.call({"op": "frobnicate"}, check=False)
+        assert response["ok"] is False
+        assert response["error"] == "unknown-op"
+
+    def test_bad_create_parameters_reported_as_internal_free_code(self, client):
+        # Unknown backend is surfaced, not a crashed connection.
+        response = client.call(
+            {"op": "create", "session": "s", "num_vertices": 8,
+             "beta": 1, "epsilon": 0.4, "backend": "quantum"},
+            check=False,
+        )
+        assert response["ok"] is False
+        assert client.ping()["ok"] is True  # connection survived
+
+    def test_shutdown_disabled(self):
+        with BackgroundServer(allow_shutdown=False) as srv:
+            with ServiceClient(srv.host, srv.port) as cli:
+                with pytest.raises(ServiceError) as excinfo:
+                    cli.shutdown()
+                assert excinfo.value.code == "shutdown-disabled"
+
+    def test_backpressure_error_code(self, tmp_path):
+        with BackgroundServer(max_queue=4) as srv:
+            with ServiceClient(srv.host, srv.port) as cli:
+                cli.create("s", num_vertices=32, beta=1, epsilon=0.4, seed=0)
+                updates = [("insert", 2 * i, 2 * i + 1) for i in range(8)]
+                with pytest.raises(ServiceError) as excinfo:
+                    cli.batch("s", updates)
+                assert excinfo.value.code == "backpressure"
+                assert cli.stats("s")["counters"]["rejected_over_budget"] == 8
+
+
+class TestWireLevel:
+    def run_raw(self, server, payloads):
+        """Write raw lines down one connection; return decoded responses."""
+
+        async def scenario():
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            for payload in payloads:
+                writer.write(payload)
+            await writer.drain()
+            responses = []
+            for _ in payloads:
+                responses.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            return responses
+
+        return asyncio.run(scenario())
+
+    def test_malformed_line_gets_bad_request(self, server):
+        (response,) = self.run_raw(server, [b"not json at all\n"])
+        assert response["ok"] is False
+        assert response["error"] == "bad-request"
+
+    def test_pipelined_requests_answered_in_order(self, server):
+        with ServiceClient(server.host, server.port) as cli:
+            cli.create("s", num_vertices=16, beta=1, epsilon=0.4, seed=0)
+        requests = [
+            {"op": "insert", "session": "s", "u": 2 * i, "v": 2 * i + 1,
+             "id": i}
+            for i in range(6)
+        ]
+        payloads = [
+            (json.dumps(request) + "\n").encode() for request in requests
+        ]
+        responses = self.run_raw(server, payloads)
+        # In-order responses with echoed ids, even though the six inserts
+        # were all in flight at once (and micro-batched server-side).
+        assert [r["id"] for r in responses] == [0, 1, 2, 3, 4, 5]
+        assert [r["seq"] for r in responses] == [1, 2, 3, 4, 5, 6]
+        # Read-your-writes holds once the update responses were read:
+        # a *new* exchange observes all six updates.
+        (stats,) = self.run_raw(
+            server, [b'{"op": "stats", "session": "s"}\n']
+        )
+        assert stats["seq"] == 6
+        # Pipelining actually coalesced: fewer batches than updates.
+        assert stats["counters"]["batches"] <= stats["counters"]["updates"]

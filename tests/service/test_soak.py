@@ -1,0 +1,68 @@
+"""Adaptive-adversary soak: quality + replay identity under real load.
+
+The ISSUE-level acceptance test for the service: at least a thousand
+adversarial updates through the real TCP stack, after which the served
+matching must still be within (1+eps) of the exact maximum matching of
+the *current* graph, the journal must replay byte-identically (checked
+under ``REPRO_RNG_SANITIZE=1`` so draw counts are compared too), and
+every recorded latency sample summary must respect the budget.
+
+Deliberately not marked ``fast`` — this is the slow, thorough leg.
+"""
+
+from repro import from_edges, mcm_exact
+from repro.contracts import check_replay_sessions
+from repro.service.client import ServiceClient
+from repro.service.journal import read_journal, replay_journal
+from repro.service.loadgen import run_load
+from repro.service.server import BackgroundServer
+
+EPSILON = 0.4
+STEPS = 1200
+
+
+def test_adaptive_soak_quality_and_replay(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RNG_SANITIZE", "1")
+    with BackgroundServer(journal_dir=tmp_path) as srv:
+        with ServiceClient(srv.host, srv.port) as client:
+            report = run_load(
+                client, "soak", adversary="adaptive", steps=STEPS,
+                epsilon=EPSILON, seed=11,
+            )
+            snapshot = client.snapshot("soak")
+            stats = client.stats("soak")
+            live = srv.service.sessions["soak"]
+            replayed = replay_journal(tmp_path / "soak.jsonl")
+            check_replay_sessions(live, replayed)
+
+    # Volume: every requested update was admitted and applied.
+    assert report["applied"] >= 1000
+    assert report["errors"] == 0
+    assert report["attacks"] > 0
+
+    # Quality: served matching within (1+eps) of the exact MCM of the
+    # final graph (reconstructed from the server's own snapshot).
+    graph = from_edges(
+        snapshot["num_vertices"],
+        [tuple(edge) for edge in snapshot["graph_edges"]],
+    )
+    exact = mcm_exact(graph).size
+    served = report["size"]
+    assert exact <= (1.0 + EPSILON) * served, (
+        f"served matching of size {served} vs exact MCM {exact}: "
+        f"worse than (1+{EPSILON})"
+    )
+
+    # Latency: the percentile summary respects the configured budget.
+    latency = stats["latency"]
+    assert latency["count"] == report["applied"]
+    assert latency["p99_ms"] <= latency["budget_ms"]
+
+    # Replay: same updates, same matching bytes, same fingerprint, and
+    # (sanitizer on) the same RNG draw counts.
+    assert live.rng_fingerprints() != ()
+    assert replayed.fingerprint() == report["fingerprint"]
+
+    # The journal recorded exactly the applied updates, in order.
+    _, updates = read_journal(tmp_path / "soak.jsonl")
+    assert len(updates) == report["applied"]

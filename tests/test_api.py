@@ -15,7 +15,11 @@ class TestPublicApi:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        # __version__ is derived (installed metadata or pyproject.toml),
+        # never hardcoded; tests/test_version.py pins the mechanics.
+        from repro._version import package_version
+
+        assert repro.__version__ == package_version()
 
     def test_subpackages_importable(self):
         for mod in [

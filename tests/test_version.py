@@ -1,0 +1,49 @@
+"""Tests for the package version plumbing and the --version CLI flag."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro._version import FALLBACK, _pyproject_version, package_version
+from repro.cli import main
+
+pytestmark = pytest.mark.fast
+
+PYPROJECT = Path(__file__).resolve().parents[1] / "pyproject.toml"
+
+
+def pyproject_version() -> str:
+    match = re.search(r'^version\s*=\s*"([^"]+)"', PYPROJECT.read_text(),
+                      re.MULTILINE)
+    assert match, "pyproject.toml has no version field"
+    return match.group(1)
+
+
+class TestPackageVersion:
+    def test_resolves_to_a_version_string(self):
+        assert re.fullmatch(r"\d+\.\d+(\.\d+)?.*", package_version())
+
+    def test_matches_pyproject(self):
+        # Whether resolved from installed metadata or the pyproject
+        # fallback, the reported version is the repo's declared one.
+        assert package_version() == pyproject_version()
+
+    def test_fallback_constant_tracks_pyproject(self):
+        assert FALLBACK == pyproject_version()
+
+    def test_pyproject_probe_finds_this_repo(self):
+        assert _pyproject_version() == pyproject_version()
+
+    def test_dunder_version(self):
+        assert repro.__version__ == package_version()
+
+
+class TestVersionFlag:
+    def test_version_flag_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out == f"repro-experiments {package_version()}"
