@@ -50,6 +50,10 @@ def _serve_main(argv: list[str]) -> int:
                         help="default per-update latency budget in ms")
     parser.add_argument("--allow-shutdown", action="store_true",
                         help="honor the client 'shutdown' op (CI/bench)")
+    parser.add_argument("--max-inflight", type=int, default=256,
+                        help="per-connection pipelining bound; beyond it "
+                             "the socket is not read until responses "
+                             "drain (default 256)")
     args = parser.parse_args(argv)
 
     from repro.service.metrics import DEFAULT_BUDGET_MS
@@ -61,6 +65,7 @@ def _serve_main(argv: list[str]) -> int:
         budget_ms=(DEFAULT_BUDGET_MS if args.budget_ms is None
                    else args.budget_ms),
         allow_shutdown=args.allow_shutdown,
+        max_inflight=args.max_inflight,
     )
 
 

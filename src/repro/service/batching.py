@@ -77,6 +77,7 @@ class MicroBatcher:
         self._queue: asyncio.Queue = asyncio.Queue()
         self._closed = False
         self._worker = asyncio.get_running_loop().create_task(self._run())
+        self._worker.add_done_callback(self._on_worker_done)
 
     # ------------------------------------------------------------------ #
     def _reject(self, count: int, detail: str) -> None:
@@ -140,37 +141,76 @@ class MicroBatcher:
                     batch.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            self.session.metrics.set_queue_depth(self._queue.qsize())
-            start = now()
-            results: list[tuple[asyncio.Future, dict | UpdateError]] = []
-            applied = 0
-            for op, u, v, future in batch:
-                try:
-                    record = self.session.apply(op, u, v)
-                    applied += 1
-                    results.append((future, record))
-                except UpdateError as exc:
-                    results.append((future, exc))
-            self.session.flush_journal()
-            elapsed = now() - start
-            per_update = elapsed / len(batch)
-            for _ in range(applied):
-                self.session.metrics.latency.record(per_update)
-            self.session.metrics.counters["batches"].increment()
-            for future, outcome in results:
-                if future.cancelled():
-                    continue
-                if isinstance(outcome, UpdateError):
-                    future.set_exception(outcome)
-                else:
-                    future.set_result(outcome)
-            for _ in batch:
-                self._queue.task_done()
+            try:
+                self._apply_batch(batch)
+            except Exception as exc:
+                # A non-UpdateError failure (backend bug, journal IO
+                # error) must not kill the worker: later submits would
+                # queue forever and close() would deadlock on join().
+                # Fail the batch's unresolved futures and keep serving.
+                for _op, _u, _v, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+
+    def _apply_batch(
+        self, batch: list[tuple[str, int, int, asyncio.Future]]
+    ) -> None:
+        self.session.metrics.set_queue_depth(self._queue.qsize())
+        start = now()
+        results: list[tuple[asyncio.Future, dict | UpdateError]] = []
+        applied = 0
+        for op, u, v, future in batch:
+            try:
+                record = self.session.apply(op, u, v)
+                applied += 1
+                results.append((future, record))
+            except UpdateError as exc:
+                results.append((future, exc))
+        self.session.flush_journal()
+        elapsed = now() - start
+        per_update = elapsed / len(batch)
+        for _ in range(applied):
+            self.session.metrics.latency.record(per_update)
+        self.session.metrics.counters["batches"].increment()
+        for future, outcome in results:
+            if future.cancelled():
+                continue
+            if isinstance(outcome, UpdateError):
+                future.set_exception(outcome)
+            else:
+                future.set_result(outcome)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        """Drain the queue, failing every unresolved future with ``exc``."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            future = item[3]
+            if not future.done():
+                future.set_exception(exc)
+            self._queue.task_done()
+
+    def _on_worker_done(self, task: asyncio.Task) -> None:
+        # The worker only exits via cancellation (close), but if it
+        # ever dies, submitters must not hang on futures nobody will
+        # resolve: mark the batcher closed and fail everything queued.
+        self._closed = True
+        exc: BaseException | None = None
+        if not task.cancelled():
+            exc = task.exception()
+        self._fail_pending(exc or Backpressure("batcher worker stopped"))
 
     async def close(self) -> None:
         """Drain pending updates, then stop the worker task."""
         self._closed = True
-        await self._queue.join()
+        if not self._worker.done():
+            await self._queue.join()
         self._worker.cancel()
         with suppress(asyncio.CancelledError):
             await self._worker
+        self._fail_pending(Backpressure("batcher is closed"))

@@ -41,6 +41,10 @@ Ops
     Stop the server (only honored when started with
     ``allow_shutdown=True``; otherwise ``shutdown-disabled``).
 
+Session names are constrained to :data:`SESSION_NAME_RE` (filename-safe
+alphanumerics plus ``._-``, no leading dot, ≤128 chars) — they become
+journal file names, so anything else is ``bad-request``.
+
 Error codes: ``bad-request``, ``unknown-op``, ``no-such-session``,
 ``session-exists``, ``bad-update``, ``backpressure``,
 ``shutdown-disabled``, ``internal``.
@@ -49,10 +53,17 @@ Error codes: ``bad-request``, ``unknown-op``, ``no-such-session``,
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Mapping
 
 #: Protocol identifier echoed by ``ping`` and recorded in journals.
 PROTOCOL = "repro-service-v1"
+
+#: Admissible session names.  Names become journal file names
+#: (``<journal_dir>/<name>.jsonl``), so the class is closed: no path
+#: separators, no leading dot, bounded length — a wire client cannot
+#: point the journal outside the journal directory.
+SESSION_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
 
 #: All request ops the server understands.
 OPS = frozenset({
@@ -138,6 +149,13 @@ def parse_request(line: str) -> dict:
                 f"field {field!r} of op {op!r} must be "
                 f"{expected.__name__}, got {type(request[field]).__name__}",
             )
+    name = request.get("session")
+    if isinstance(name, str) and not SESSION_NAME_RE.fullmatch(name):
+        raise ProtocolError(
+            "bad-request",
+            f"invalid session name {name!r}: must match "
+            f"{SESSION_NAME_RE.pattern}",
+        )
     if op == "batch":
         for i, item in enumerate(request["updates"]):
             if (not isinstance(item, (list, tuple)) or len(item) != 3

@@ -7,6 +7,8 @@ becomes its own task and responses are written back *in request order*,
 so a pipelining client can keep many updates in flight — which is what
 lets the per-session :class:`~repro.service.batching.MicroBatcher`
 coalesce them into bounded batches even from a single connection.
+In-flight requests per connection are capped at ``max_inflight``;
+beyond that the server stops reading the socket until responses drain.
 
 Responses echo the request's optional ``id`` field verbatim for client
 correlation.  Unknown session names, malformed requests, rejected
@@ -37,7 +39,7 @@ from repro.service.protocol import (
     ok_response,
     parse_request,
 )
-from repro.service.session import Session, UpdateError
+from repro.service.session import Session, UpdateError, validate_session_params
 
 _EOF = object()
 
@@ -59,6 +61,11 @@ class MatchingService:
     allow_shutdown:
         Whether the ``shutdown`` op is honored (CI and benchmarks turn
         this on; a long-lived server should not).
+    max_inflight:
+        Per-connection pipelining bound: at most this many requests may
+        be awaiting a response on one connection before the server
+        stops reading from its socket (TCP backpressure), so a fast
+        client cannot grow server memory without bound.
     """
 
     def __init__(
@@ -68,13 +75,17 @@ class MatchingService:
         max_queue: int = 1024,
         budget_ms: float = DEFAULT_BUDGET_MS,
         allow_shutdown: bool = False,
+        max_inflight: int = 256,
     ) -> None:
         """Configure the service; no sockets are touched until served."""
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         self.max_batch = max_batch
         self.max_queue = max_queue
         self.budget_ms = budget_ms
         self.allow_shutdown = allow_shutdown
+        self.max_inflight = max_inflight
         self.sessions: dict[str, Session] = {}
         self.batchers: dict[str, MicroBatcher] = {}
         self._shutdown = asyncio.Event()
@@ -88,25 +99,81 @@ class MatchingService:
             raise ProtocolError("no-such-session", f"no session {name!r}")
         return self.sessions[name]
 
+    def _batcher(self, session: Session) -> MicroBatcher:
+        batcher = self.batchers.get(session.name)
+        if batcher is None:
+            # The session was closed between dispatch and submission.
+            raise ProtocolError(
+                "no-such-session", f"no session {session.name!r}"
+            )
+        return batcher
+
+    def _journal_path(self, name: str) -> Path:
+        # parse_request already constrains names to a filename-safe
+        # class; the containment check is defense in depth for callers
+        # driving MatchingService directly with unvalidated names.
+        root = self.journal_dir.resolve()
+        path = (root / f"{name}.jsonl").resolve()
+        if path.parent != root:
+            raise ProtocolError(
+                "bad-request",
+                f"session name {name!r} escapes the journal directory",
+            )
+        return path
+
     async def _handle_create(self, request: dict) -> dict:
         name = request["session"]
         if name in self.sessions:
             raise ProtocolError("session-exists",
                                 f"session {name!r} already exists")
+        num_vertices = int(request["num_vertices"])
+        beta = int(request["beta"])
+        epsilon = float(request["epsilon"])
+        backend = request.get("backend", "lazy_rebuild")
+        seed = request.get("seed")
+        budget_ms = request.get("budget_ms", self.budget_ms)
+        # Validate everything *before* opening the journal: constructing
+        # a ReplayJournal truncates any existing journal of this name,
+        # which a doomed create must never do.
+        try:
+            if not isinstance(backend, str):
+                raise ValueError(
+                    f"backend must be a string, got {type(backend).__name__}"
+                )
+            if seed is not None and (
+                not isinstance(seed, int) or isinstance(seed, bool)
+            ):
+                raise ValueError(
+                    f"seed must be an integer, got {type(seed).__name__}"
+                )
+            if (not isinstance(budget_ms, (int, float))
+                    or isinstance(budget_ms, bool) or budget_ms <= 0):
+                raise ValueError(f"budget_ms must be > 0, got {budget_ms!r}")
+            validate_session_params(num_vertices, beta, epsilon, backend)
+        except ValueError as exc:
+            raise ProtocolError("bad-request", str(exc)) from exc
         journal = None
         want_journal = bool(request.get("journal", True))
         if want_journal and self.journal_dir is not None:
-            journal = ReplayJournal(self.journal_dir / f"{name}.jsonl")
-        session = Session(
-            name=name,
-            num_vertices=int(request["num_vertices"]),
-            beta=int(request["beta"]),
-            epsilon=float(request["epsilon"]),
-            backend=request.get("backend", "lazy_rebuild"),
-            seed=request.get("seed"),
-            journal=journal,
-            budget_ms=float(request.get("budget_ms", self.budget_ms)),
-        )
+            journal = ReplayJournal(self._journal_path(name))
+        try:
+            session = Session(
+                name=name,
+                num_vertices=num_vertices,
+                beta=beta,
+                epsilon=epsilon,
+                backend=backend,
+                seed=seed,
+                journal=journal,
+                budget_ms=float(budget_ms),
+            )
+        except Exception:
+            # Parameters were validated above, so this is unexpected —
+            # but don't leak the open handle or a half-written journal.
+            if journal is not None:
+                journal.close()
+                journal.path.unlink(missing_ok=True)
+            raise
         self.sessions[name] = session
         self.batchers[name] = MicroBatcher(
             session, max_batch=self.max_batch, max_queue=self.max_queue
@@ -121,7 +188,7 @@ class MatchingService:
 
     async def _handle_update(self, request: dict) -> dict:
         session = self._session(request)
-        record = await self.batchers[session.name].submit(
+        record = await self._batcher(session).submit(
             request["op"], int(request["u"]), int(request["v"])
         )
         return ok_response(**record)
@@ -129,15 +196,19 @@ class MatchingService:
     async def _handle_batch(self, request: dict) -> dict:
         session = self._session(request)
         updates = [(op, int(u), int(v)) for op, u, v in request["updates"]]
-        outcomes = await self.batchers[session.name].submit_batch(updates)
+        outcomes = await self._batcher(session).submit_batch(updates)
         applied = sum(1 for outcome in outcomes if "error" not in outcome)
         return ok_response(applied=applied, results=outcomes)
 
     async def _handle_close(self, request: dict) -> dict:
         session = self._session(request)
-        await self.batchers.pop(session.name).close()
-        session.close()
+        # Unregister before awaiting the drain: an update racing the
+        # close must see no-such-session, not an internal KeyError.
         del self.sessions[session.name]
+        batcher = self.batchers.pop(session.name, None)
+        if batcher is not None:
+            await batcher.close()
+        session.close()
         return ok_response(closed=session.name, seq=session.seq)
 
     async def handle_request(self, request: dict) -> dict:
@@ -198,9 +269,16 @@ class MatchingService:
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Serve one client connection (in-order pipelined responses)."""
+        """Serve one client connection (in-order pipelined responses).
+
+        Pipelining is bounded: once ``max_inflight`` requests are
+        awaiting responses, the loop stops reading from the socket
+        until responses drain, so a client that never reads cannot
+        grow the outbox (or the per-request task set) without limit.
+        """
         loop = asyncio.get_running_loop()
         outbox: asyncio.Queue = asyncio.Queue()
+        inflight = asyncio.Semaphore(self.max_inflight)
 
         async def write_responses() -> None:
             while True:
@@ -209,17 +287,24 @@ class MatchingService:
                     return
                 writer.write(encode(await task))
                 await writer.drain()
+                inflight.release()
 
         writer_task = loop.create_task(write_responses())
+        # If the writer dies early (client reset mid-write), a reader
+        # blocked on the semaphore must wake up to notice and bail out.
+        writer_task.add_done_callback(lambda _task: inflight.release())
         try:
             while True:
+                await inflight.acquire()
+                if writer_task.done():
+                    break
                 line = await reader.readline()
                 if not line:
+                    outbox.put_nowait(_EOF)
                     break
                 outbox.put_nowait(loop.create_task(
                     self._respond(line.decode("utf-8", "replace"))
                 ))
-            outbox.put_nowait(_EOF)
             await writer_task
         except ConnectionResetError:  # pragma: no cover - client vanished
             writer_task.cancel()
@@ -286,6 +371,7 @@ def run_server(
     max_queue: int = 1024,
     budget_ms: float = DEFAULT_BUDGET_MS,
     allow_shutdown: bool = False,
+    max_inflight: int = 256,
 ) -> int:
     """Blocking entry point for ``repro-experiments serve``.
 
@@ -298,6 +384,7 @@ def run_server(
         max_queue=max_queue,
         budget_ms=budget_ms,
         allow_shutdown=allow_shutdown,
+        max_inflight=max_inflight,
     )
     try:
         asyncio.run(service.serve_forever(host, port, announce=True))

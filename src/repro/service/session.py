@@ -88,6 +88,28 @@ def theorem_work_budget(beta: int, epsilon: float, constant: float = 8.0) -> int
     return max(1, math.ceil(bound))
 
 
+def validate_session_params(
+    num_vertices: int, beta: int, epsilon: float,
+    backend: str = "lazy_rebuild",
+) -> None:
+    """Raise ``ValueError`` unless the session parameters are admissible.
+
+    The server calls this *before* opening a replay journal, so a
+    doomed ``create`` never truncates an existing journal; the
+    :class:`Session` constructor calls it again as its own guard.
+    """
+    if num_vertices < 1:
+        raise ValueError(f"num_vertices must be >= 1, got {num_vertices}")
+    if beta < 1:
+        raise ValueError(f"beta must be >= 1, got {beta}")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+        )
+
+
 def _make_lazy_rebuild(num_vertices, beta, epsilon, rng, work_budget):
     """Theorem 3.5 windowed-rebuild matcher (adaptive-adversary safe)."""
     return LazyRebuildMatching(
@@ -156,13 +178,7 @@ class Session:
         *,
         seed: int | None = None,
     ) -> None:
-        if num_vertices < 1:
-            raise ValueError(f"num_vertices must be >= 1, got {num_vertices}")
-        if backend not in BACKENDS:
-            raise ValueError(
-                f"unknown backend {backend!r}; choose from "
-                f"{sorted(BACKENDS)}"
-            )
+        validate_session_params(num_vertices, beta, epsilon, backend)
         self.name = name
         self.num_vertices = num_vertices
         self.beta = beta

@@ -74,7 +74,58 @@ class TestSubmit:
         run(scenario())
 
 
-class TestBatchSemantics:
+class TestWorkerRobustness:
+    def test_internal_error_fails_future_but_not_worker(self):
+        # A non-UpdateError from session.apply must fail that submit's
+        # future, yet leave the worker alive for subsequent updates and
+        # let close() complete without deadlocking on queue.join().
+        async def scenario():
+            session = make_session()
+            boom = RuntimeError("backend exploded")
+            original_apply = session.apply
+            failures = [boom]
+
+            def flaky_apply(op, u, v):
+                if failures:
+                    raise failures.pop()
+                return original_apply(op, u, v)
+
+            session.apply = flaky_apply
+            batcher = MicroBatcher(session)
+            with pytest.raises(RuntimeError, match="backend exploded"):
+                await batcher.submit("insert", 0, 1)
+            record = await batcher.submit("insert", 2, 3)  # worker survived
+            await batcher.close()
+            return session, record
+
+        session, record = run(scenario())
+        assert record["seq"] == 1
+        assert session.sparsifier.graph.has_edge(2, 3)
+
+    def test_journal_flush_error_does_not_wedge_submitters(self):
+        async def scenario():
+            session = make_session()
+            session.flush_journal = lambda: (_ for _ in ()).throw(
+                OSError("disk full")
+            )
+            batcher = MicroBatcher(session)
+            with pytest.raises(OSError, match="disk full"):
+                await batcher.submit("insert", 0, 1)
+            await batcher.close()  # must not deadlock
+
+        run(scenario())
+
+    def test_dead_worker_fails_queued_and_future_submits(self):
+        async def scenario():
+            session = make_session()
+            batcher = MicroBatcher(session)
+            batcher._worker.cancel()
+            await asyncio.sleep(0)  # let cancellation + done-callback run
+            with pytest.raises(Backpressure):
+                await batcher.submit("insert", 0, 1)
+            await batcher.close()  # idempotent, no hang
+
+        run(scenario())
     def test_coalescing_into_bounded_batches(self):
         # submit_batch enqueues synchronously, so the worker sees all ten
         # updates at once and must split them into ceil(10/4) = 3 batches.

@@ -7,7 +7,7 @@ import pytest
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.protocol import PROTOCOL
-from repro.service.server import BackgroundServer
+from repro.service.server import BackgroundServer, MatchingService
 
 pytestmark = pytest.mark.fast
 
@@ -124,6 +124,80 @@ class TestErrorCodes:
                     cli.shutdown()
                 assert excinfo.value.code == "shutdown-disabled"
 
+    def test_traversal_session_name_rejected(self, client, tmp_path):
+        # A path-shaped session name must never reach the filesystem.
+        for name in ("../../evil", "/etc/passwd", "a/b", "..", ".hidden", ""):
+            response = client.call(
+                {"op": "create", "session": name, "num_vertices": 8,
+                 "beta": 1, "epsilon": 0.4},
+                check=False,
+            )
+            assert response["error"] == "bad-request", name
+        assert client.sessions() == []
+        assert not (tmp_path / "evil.jsonl").exists()
+        assert not (tmp_path / "journals" / "evil.jsonl").exists()
+
+    def test_journal_path_containment_direct(self, tmp_path):
+        # Defense in depth below the wire parser: MatchingService
+        # itself refuses names that resolve outside the journal dir.
+        service = MatchingService(journal_dir=tmp_path / "journals")
+        from repro.service.protocol import ProtocolError
+
+        with pytest.raises(ProtocolError) as excinfo:
+            service._journal_path("../escape")
+        assert excinfo.value.code == "bad-request"
+        assert service._journal_path("fine").parent == (
+            tmp_path / "journals"
+        ).resolve()
+
+    def test_bad_create_parameters_are_bad_request(self, client):
+        base = {"op": "create", "session": "s", "num_vertices": 8,
+                "beta": 1, "epsilon": 0.4}
+        for overrides in ({"epsilon": 2.0}, {"epsilon": 0.0}, {"beta": 0},
+                          {"num_vertices": 0}, {"backend": "quantum"},
+                          {"seed": "zero"}, {"budget_ms": -1.0}):
+            response = client.call({**base, **overrides}, check=False)
+            assert response["error"] == "bad-request", overrides
+        assert client.sessions() == []
+
+    def test_failed_create_preserves_existing_journal(self, client, tmp_path):
+        client.create("s", num_vertices=8, beta=1, epsilon=0.4, seed=0)
+        client.insert("s", 0, 1)
+        client.close_session("s")
+        journal = tmp_path / "journals" / "s.jsonl"
+        before = journal.read_text()
+        response = client.call(
+            {"op": "create", "session": "s", "num_vertices": 8,
+             "beta": 1, "epsilon": 2.0},
+            check=False,
+        )
+        assert response["error"] == "bad-request"
+        assert journal.read_text() == before  # not truncated
+
+    def test_update_racing_close_gets_no_such_session(self, tmp_path):
+        # An insert dispatched while close() is draining the batcher
+        # must surface as no-such-session, not an internal KeyError.
+        async def scenario():
+            service = MatchingService(journal_dir=tmp_path)
+            await service.handle_request(
+                {"op": "create", "session": "s", "num_vertices": 8,
+                 "beta": 1, "epsilon": 0.4, "seed": 0}
+            )
+            close_task = asyncio.get_running_loop().create_task(
+                service._respond('{"op": "close", "session": "s"}')
+            )
+            await asyncio.sleep(0)  # let close start awaiting the drain
+            update = await service._respond(
+                '{"op": "insert", "session": "s", "u": 0, "v": 1}'
+            )
+            closed = await close_task
+            return closed, update
+
+        closed, update = asyncio.run(scenario())
+        assert closed["ok"] is True
+        assert update["ok"] is False
+        assert update["error"] == "no-such-session"
+
     def test_backpressure_error_code(self, tmp_path):
         with BackgroundServer(max_queue=4) as srv:
             with ServiceClient(srv.host, srv.port) as cli:
@@ -184,3 +258,22 @@ class TestWireLevel:
         assert stats["seq"] == 6
         # Pipelining actually coalesced: fewer batches than updates.
         assert stats["counters"]["batches"] <= stats["counters"]["updates"]
+
+    def test_pipelining_beyond_max_inflight_still_answers_all(self):
+        # Far more pipelined requests than the inflight cap: the server
+        # pauses reading rather than dropping or deadlocking, so every
+        # request is still answered, in order.
+        with BackgroundServer(max_inflight=4) as srv:
+            with ServiceClient(srv.host, srv.port) as cli:
+                cli.create("s", num_vertices=64, beta=1, epsilon=0.4, seed=0)
+            requests = [
+                {"op": "insert", "session": "s", "u": 2 * i, "v": 2 * i + 1,
+                 "id": i}
+                for i in range(24)
+            ]
+            payloads = [
+                (json.dumps(request) + "\n").encode() for request in requests
+            ]
+            responses = self.run_raw(srv, payloads)
+            assert [r["id"] for r in responses] == list(range(24))
+            assert all(r["ok"] for r in responses)
