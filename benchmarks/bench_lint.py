@@ -11,9 +11,10 @@ The legacy mode is simulated faithfully: a *fresh* ``RuleContext`` per
 (file, rule) pair, so no rule shares the node index with another —
 exactly one full tree walk per rule per file, which is what the old
 per-rule ``ast.walk`` calls cost.  Only the syntactic rules R1-R5 are
-compared (the flow rules postdate the shared index and never had a
-per-rule-walk form); the full nine-rule runtime is reported alongside
-for context.
+compared (the flow rules R6-R9 and the async-concurrency rules R10-R14
+postdate the shared index and never had a per-rule-walk form); the
+full fourteen-rule runtime and the async-rule-only runtime are
+reported alongside for context.
 
 Usage::
 
@@ -34,8 +35,14 @@ from repro.lint.runner import discover_files, lint_paths
 from repro.lint.rules import RULES, RuleContext
 from repro.lint.violations import collect_pragmas, is_suppressed
 
-#: The rules that exist in both modes.
-_SYNTACTIC = [rule for rule in RULES.values() if not rule.flow]
+#: The rules that exist in both modes (whole-program rules — flow and
+#: concurrency — have no per-rule-walk form to compare against).
+_SYNTACTIC = [
+    rule for rule in RULES.values() if not rule.flow and not rule.concurrency
+]
+
+#: The async-concurrency rules, timed as their own workload.
+_ASYNC = [rule for rule in RULES.values() if rule.concurrency]
 
 
 def _timed(fn, *args, **kwargs):
@@ -88,6 +95,14 @@ def bench_lint(target: str, repeats: int) -> dict:
         shared_times.append(t_shared)
 
     _, t_full = _timed(lint_paths, [target])
+    async_times = []
+    for _ in range(repeats):
+        _, t_async = _timed(lint_paths, [target], _ASYNC)
+        async_times.append(t_async)
+    async_defs = sum(
+        sum(isinstance(node, ast.AsyncFunctionDef) for node in ast.walk(tree))
+        for tree, _text in sources.values()
+    )
     best_legacy, best_shared = min(legacy_times), min(shared_times)
     return {
         "target": target,
@@ -97,7 +112,10 @@ def bench_lint(target: str, repeats: int) -> dict:
         "shared_index_seconds": round(best_shared, 4),
         "speedup": round(best_legacy / best_shared, 3),
         "identical_findings": True,
-        "full_r1_r9_seconds": round(t_full, 4),
+        "full_r1_r14_seconds": round(t_full, 4),
+        "async_rules": [rule.code for rule in _ASYNC],
+        "async_defs": int(async_defs),
+        "async_r10_r14_seconds": round(min(async_times), 4),
     }
 
 

@@ -273,9 +273,43 @@ def check_replay_sessions(recorded, replayed):
     return replayed
 
 
+def check_interleaving_replay(recorded, replayed):
+    """Assert a replayed interleaving trace is byte-identical to the
+    recorded one.
+
+    Both arguments are
+    :class:`repro.service.sanitizer.InterleavingTrace` objects (duck-
+    typed: anything with ``entries`` and a canonical ``to_json``).  The
+    deterministic scheduler's guarantee is not "same answer" but "same
+    *schedule*": replaying a trace must make the identical sequence of
+    scheduling decisions over identically-labelled tasks.  Comparing the
+    canonical JSON encodings asserts exactly that, and on divergence the
+    first differing step is named so the failure is debuggable.
+
+    Returns ``replayed`` so it composes as a pass-through.
+    """
+    recorded_json = recorded.to_json()
+    replayed_json = replayed.to_json()
+    if recorded_json == replayed_json:
+        return replayed
+    for index, (a, b) in enumerate(zip(recorded.entries, replayed.entries)):
+        if a != b:
+            _fail(
+                f"interleaving replay diverged at step {index}: recorded "
+                f"(choice={a.choice}, label={a.label!r}) vs replayed "
+                f"(choice={b.choice}, label={b.label!r})"
+            )
+    _fail(
+        f"interleaving replay diverged: recorded {len(recorded.entries)} "
+        f"steps vs replayed {len(replayed.entries)} (or the seeds differ: "
+        f"{recorded.seed!r} vs {replayed.seed!r})"
+    )
+
+
 __all__ = [
     "CONTRACTS_ENV",
     "ContractViolation",
+    "check_interleaving_replay",
     "check_matching",
     "check_replay_fingerprints",
     "check_replay_sessions",

@@ -14,14 +14,28 @@ mechanically with a stdlib-``ast`` static analysis:
   :class:`~repro.lint.callgraph.Program`;
 * :func:`~repro.lint.runner.lint_paths` / ``lint_file`` /
   ``lint_source`` — the library entry points;
-* ``repro-experiments lint`` and ``repro-experiments rng-audit`` — the
-  CLIs (see :mod:`repro.lint.cli`).
+* ``repro-experiments lint``, ``repro-experiments rng-audit``, and
+  ``repro-experiments race-audit`` — the CLIs (see
+  :mod:`repro.lint.cli`).
+
+The async-concurrency rules (R10 interleaving hazard, R11 blocking call
+in the event loop, R12 lost task, R13 lock/queue discipline, R14
+cross-task aliasing) are computed by :mod:`repro.lint.async_flow` over
+the same whole-program index and registered alongside R1-R9.
 
 Suppress a finding per line with ``# repro-lint: ignore[R4]`` (or bare
-``ignore`` for all rules).  See ``docs/LINTING.md`` for the catalogue.
+``ignore`` for all rules), or a whole file with
+``# repro-lint: skip-file[R10]``.  See ``docs/LINTING.md`` for the
+catalogue.
 """
 
-from repro.lint.rules import FLOW_RULES, RULES, Rule, RuleContext
+from repro.lint.rules import (
+    ASYNC_RULES,
+    FLOW_RULES,
+    RULES,
+    Rule,
+    RuleContext,
+)
 from repro.lint.runner import (
     discover_files,
     format_github,
@@ -31,14 +45,20 @@ from repro.lint.runner import (
     lint_paths,
     lint_source,
 )
-from repro.lint.violations import Violation, collect_pragmas
+from repro.lint.violations import (
+    Violation,
+    collect_file_pragmas,
+    collect_pragmas,
+)
 
 __all__ = [
+    "ASYNC_RULES",
     "FLOW_RULES",
     "RULES",
     "Rule",
     "RuleContext",
     "Violation",
+    "collect_file_pragmas",
     "collect_pragmas",
     "discover_files",
     "format_github",

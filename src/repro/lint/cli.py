@@ -10,6 +10,7 @@ Usage::
     repro-experiments lint --explain             # print the rule table
 
     repro-experiments rng-audit src              # flow rules R6-R9 only
+    repro-experiments race-audit src/repro/service   # async rules R10-R14
 
 ``rng-audit`` is the whole-program RNG stream audit: it runs exactly the
 interprocedural flow rules (stream reuse / generator escape /
@@ -18,7 +19,13 @@ static half of the ``REPRO_RNG_SANITIZE=1`` runtime sanitizer.  It
 shares the lint machinery, so pragmas, formats, and exit codes behave
 identically.
 
-Exit status: 0 clean, 1 violations found, 2 usage error — so both
+``race-audit`` is its async-concurrency sibling: exactly the R10-R14
+rules of :mod:`repro.lint.async_flow` (interleaving hazards, blocking
+calls, lost tasks, lock/queue discipline, cross-task aliasing) — the
+static half of the ``REPRO_ASYNC_SANITIZE=1`` deterministic-scheduler
+sanitizer (:mod:`repro.service.sanitizer`).
+
+Exit status: 0 clean, 1 violations found, 2 usage error — so all three
 commands drop straight into CI and pre-commit hooks.
 """
 
@@ -27,7 +34,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.lint.rules import FLOW_RULES, RULES, Rule
+from repro.lint.rules import ASYNC_RULES, FLOW_RULES, RULES, Rule
 from repro.lint.runner import (
     format_github,
     format_json,
@@ -86,6 +93,12 @@ def _run(args: argparse.Namespace, catalogue: dict[str, Rule]) -> int:
     rules = list(catalogue.values())
     if args.select is not None:
         codes = [c.strip().upper() for c in args.select.split(",") if c.strip()]
+        if not codes:
+            # An empty selection would "lint" with zero rules and exit 0
+            # — a green CI gate that checks nothing.  Usage error.
+            print("--select is empty; pass one or more rule codes like "
+                  f"{next(iter(catalogue))}", file=sys.stderr)
+            return 2
         unknown = [c for c in codes if c not in catalogue]
         if unknown:
             print(f"unknown rule codes {unknown}; known: {sorted(catalogue)}",
@@ -128,6 +141,19 @@ def audit_main(argv: list[str] | None = None) -> int:
         FLOW_RULES,
     )
     return _run(parser.parse_args(argv), FLOW_RULES)
+
+
+def race_audit_main(argv: list[str] | None = None) -> int:
+    """Parse race-audit arguments, run the async rules, print the report."""
+    parser = _build_parser(
+        "repro-experiments race-audit",
+        "Whole-program async-concurrency audit (rules R10-R14: "
+        "interleaving hazards across awaits, blocking calls in the "
+        "event loop, lost tasks, lock/queue discipline, cross-task "
+        "aliasing).  The static half of REPRO_ASYNC_SANITIZE=1.",
+        ASYNC_RULES,
+    )
+    return _run(parser.parse_args(argv), ASYNC_RULES)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -158,6 +158,10 @@ class Rule:
     flow:
         Whether this is a whole-program flow rule (R6-R9) — the set the
         ``rng-audit`` subcommand runs.
+    concurrency:
+        Whether this is an async-concurrency rule (R10-R14) — the set
+        the ``race-audit`` subcommand runs
+        (:mod:`repro.lint.async_flow`).
     """
 
     code: str
@@ -165,6 +169,7 @@ class Rule:
     summary: str
     check: Callable[[RuleContext], list[Violation]]
     flow: bool = False
+    concurrency: bool = False
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -471,6 +476,20 @@ def _flow_check(code: str) -> Callable[[RuleContext], list[Violation]]:
     return check
 
 
+def _async_check(code: str) -> Callable[[RuleContext], list[Violation]]:
+    """Bind one async-rule code to the shared concurrency pass."""
+
+    def check(ctx: RuleContext) -> list[Violation]:
+        # Imported lazily, mirroring _flow_check.
+        from repro.lint import async_flow
+
+        return async_flow.violations_for(ctx, code)
+
+    check.__name__ = f"_check_{code.lower()}"
+    check.__doc__ = f"{code} — see repro.lint.async_flow."
+    return check
+
+
 #: The registry, in report order.  Keys are the pragma/ignore codes.
 RULES: dict[str, Rule] = {
     "R1": Rule("R1", "no-global-randomness",
@@ -505,9 +524,36 @@ RULES: dict[str, Rule] = {
                "no shared generator consumed inside unordered (set) "
                "iteration; per-element child streams are exempt",
                _flow_check("R9"), flow=True),
+    "R10": Rule("R10", "interleaving-hazard",
+                "no shared attribute read before an await and mutated "
+                "after it without a common lock — stale "
+                "read-modify-write across a suspension point",
+                _async_check("R10"), concurrency=True),
+    "R11": Rule("R11", "blocking-in-event-loop",
+                "no time.sleep/sync IO/subprocess (directly or through "
+                "helpers) and no await-free while-True loops inside "
+                "async defs", _async_check("R11"), concurrency=True),
+    "R12": Rule("R12", "lost-task",
+                "no un-awaited coroutine calls; every create_task "
+                "handle is awaited, cancelled, stored, or given a "
+                "done-callback", _async_check("R12"), concurrency=True),
+    "R13": Rule("R13", "lock-queue-discipline",
+                "no sync lock held across an await, no unbounded "
+                "asyncio.Queue, no future that is never resolved or "
+                "handed off", _async_check("R13"), concurrency=True),
+    "R14": Rule("R14", "cross-task-aliasing",
+                "no mutable object escaping into two concurrently-live "
+                "tasks; queues and locks are the sanctioned channels",
+                _async_check("R14"), concurrency=True),
 }
 
 #: The flow-rule subset (what ``repro-experiments rng-audit`` runs).
 FLOW_RULES: dict[str, Rule] = {
     code: rule for code, rule in RULES.items() if rule.flow
+}
+
+#: The async-concurrency subset (what ``repro-experiments race-audit``
+#: runs).
+ASYNC_RULES: dict[str, Rule] = {
+    code: rule for code, rule in RULES.items() if rule.concurrency
 }

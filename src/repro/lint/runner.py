@@ -35,7 +35,12 @@ from typing import Iterable, Sequence
 
 from repro.lint.callgraph import Program
 from repro.lint.rules import RULES, Rule, RuleContext
-from repro.lint.violations import Violation, collect_pragmas, is_suppressed
+from repro.lint.violations import (
+    Violation,
+    collect_file_pragmas,
+    collect_pragmas,
+    is_suppressed,
+)
 
 #: Directory names never descended into during discovery.
 SKIP_DIRS = frozenset({"fixtures", "__pycache__", ".git", ".venv", "build"})
@@ -90,7 +95,13 @@ def _lint_parsed(
         ctx = RuleContext(path=path, tree=tree, source=source,
                           program=program)
         pragmas = collect_pragmas(source)
+        file_skips = collect_file_pragmas(source)
         for rule in active:
+            # File-level skips elide the rule entirely (cheaper than
+            # filtering its findings, and `skip-file` with no list
+            # suppresses every rule).
+            if "*" in file_skips or rule.code in file_skips:
+                continue
             for violation in rule.check(ctx):
                 if not is_suppressed(violation, pragmas):
                     out.append(violation)
@@ -155,16 +166,42 @@ def format_json(violations: Sequence[Violation]) -> str:
     )
 
 
+def _escape_data(value: str) -> str:
+    """Escape a workflow-command message per the Actions toolkit rules.
+
+    ``%`` must go first (it is the escape character itself); raw
+    newlines would otherwise truncate the annotation at the first line.
+    """
+    return (value.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value (``file=``, ``title=``).
+
+    Properties additionally reserve ``:`` and ``,`` — a message
+    containing ``::`` inside a property would end the property list
+    early and corrupt the annotation.
+    """
+    return (_escape_data(value)
+            .replace(":", "%3A")
+            .replace(",", "%2C"))
+
+
 def format_github(violations: Sequence[Violation]) -> str:
     """GitHub Actions workflow commands: one ``::error`` per finding.
 
     Emitting these to stdout inside a workflow step makes every finding
     render as an inline annotation on the PR diff.  Columns are
-    converted to GitHub's 1-based convention.
+    converted to GitHub's 1-based convention; messages and property
+    values are escaped per the workflow-command spec so multi-line or
+    ``::``-bearing rule messages cannot truncate the annotation.
     """
     lines = [
-        f"::error file={v.path},line={v.line},col={v.col + 1},"
-        f"title={v.rule}::{v.message}"
+        f"::error file={_escape_property(v.path)},line={v.line},"
+        f"col={v.col + 1},title={_escape_property(v.rule)}"
+        f"::{_escape_data(v.message)}"
         for v in violations
     ]
     lines.append(f"{len(violations)} violation"

@@ -11,6 +11,15 @@ suppressed per line with an inline pragma::
 bracketed form suppresses only the named rules.  For a multi-line
 statement (e.g. a ``def`` whose signature spans lines) the pragma goes on
 the line the violation reports — always the statement's first line.
+
+A whole file opts out with the file-level form (any line, conventionally
+the first)::
+
+    # repro-lint: skip-file            — suppress every rule
+    # repro-lint: skip-file[R10,R12]   — suppress only the named rules
+
+which is what deliberately-racy fixture files use instead of repeating a
+line pragma on every statement.
 """
 
 from __future__ import annotations
@@ -20,6 +29,11 @@ from dataclasses import dataclass
 
 #: Matches one ignore pragma; group 1 is the optional rule list.
 PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+#: Matches one file-level skip pragma; group 1 is the optional rule list.
+SKIP_FILE_RE = re.compile(
+    r"#\s*repro-lint:\s*skip-file(?:\[([A-Za-z0-9_,\s]+)\])?"
+)
 
 #: Sentinel rule-set meaning "every rule is suppressed on this line".
 ALL_RULES = frozenset({"*"})
@@ -83,6 +97,28 @@ def collect_pragmas(source: str) -> dict[int, frozenset[str]]:
                 token.strip().upper() for token in rules.split(",") if token.strip()
             )
     return pragmas
+
+
+def collect_file_pragmas(source: str) -> frozenset[str]:
+    """Rule codes suppressed for the whole file by ``skip-file`` pragmas.
+
+    Returns :data:`ALL_RULES` when any bare ``skip-file`` appears;
+    otherwise the union of the bracketed rule lists (empty when the file
+    has no file-level pragma).
+    """
+    out: set[str] = set()
+    for text in source.splitlines():
+        match = SKIP_FILE_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            return ALL_RULES
+        out.update(
+            token.strip().upper() for token in rules.split(",")
+            if token.strip()
+        )
+    return frozenset(out)
 
 
 def is_suppressed(

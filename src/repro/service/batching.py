@@ -74,7 +74,10 @@ class MicroBatcher:
         self.session = session
         self.max_batch = max_batch
         self.max_queue = max_queue
-        self._queue: asyncio.Queue = asyncio.Queue()
+        # Bounded at the backpressure threshold: submit() rejects before
+        # put_nowait could ever overflow, so the bound is a hard backstop
+        # (and satisfies the R13 unbounded-queue discipline).
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_queue)
         self._closed = False
         self._worker = asyncio.get_running_loop().create_task(self._run())
         self._worker.add_done_callback(self._on_worker_done)

@@ -81,14 +81,21 @@ class AsyncServiceClient:
         return response
 
     async def close(self) -> None:
-        """Close the connection (idempotent)."""
-        if self._writer is not None:
-            self._writer.close()
+        """Close the connection (idempotent).
+
+        The streams are unregistered *before* the close is awaited, so a
+        concurrent :meth:`call` (or a second ``close``) interleaving at
+        the ``wait_closed`` suspension point sees "not connected" rather
+        than racing a half-closed writer.
+        """
+        writer = self._writer
+        self._reader = self._writer = None
+        if writer is not None:
+            writer.close()
             try:
-                await self._writer.wait_closed()
+                await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
-            self._reader = self._writer = None
 
 
 class ServiceClient:

@@ -277,7 +277,10 @@ class MatchingService:
         grow the outbox (or the per-request task set) without limit.
         """
         loop = asyncio.get_running_loop()
-        outbox: asyncio.Queue = asyncio.Queue()
+        # The semaphore admits at most max_inflight response tasks, so
+        # the outbox can never hold more than that plus the EOF
+        # sentinel; the bound makes the invariant structural.
+        outbox: asyncio.Queue = asyncio.Queue(maxsize=self.max_inflight + 1)
         inflight = asyncio.Semaphore(self.max_inflight)
 
         async def write_responses() -> None:
@@ -325,13 +328,22 @@ class MatchingService:
                 pass
 
     async def close_all(self) -> None:
-        """Drain every batcher and close every session (and journal)."""
-        for name in sorted(self.batchers):
-            await self.batchers[name].close()
-        for name in sorted(self.sessions):
-            self.sessions[name].close()
-        self.batchers.clear()
-        self.sessions.clear()
+        """Drain every batcher and close every session (and journal).
+
+        Each batcher is *unregistered before its drain is awaited* — the
+        same discipline as ``_handle_close``.  The old
+        iterate-then-clear shape had a shutdown race: a create admitted
+        while a drain was awaiting would have its fresh batcher wiped by
+        the final ``clear()`` without ever being drained (its journal
+        never closed).  The while-pop loop picks up such stragglers in a
+        later iteration instead.
+        """
+        while self.batchers:
+            name = min(self.batchers)
+            await self.batchers.pop(name).close()
+        while self.sessions:
+            name = min(self.sessions)
+            self.sessions.pop(name).close()
 
     def request_shutdown(self) -> None:
         """Ask a running :meth:`serve_forever` to stop (thread-safe only
@@ -387,10 +399,25 @@ def run_server(
         max_inflight=max_inflight,
     )
     try:
-        asyncio.run(service.serve_forever(host, port, announce=True))
+        _run_service_loop(service.serve_forever(host, port, announce=True))
     except KeyboardInterrupt:  # pragma: no cover - interactive use
         print("interrupted; shutting down", file=sys.stderr)
     return 0
+
+
+def _run_service_loop(main) -> object:
+    """Run the service coroutine, honoring ``REPRO_ASYNC_SANITIZE=1``.
+
+    The sanitized path swaps in the deterministic event loop
+    (:mod:`repro.service.sanitizer`): task interleaving is recorded —
+    and optionally seed-perturbed — instead of left to arrival order.
+    The default path is a plain :func:`asyncio.run`.
+    """
+    from repro.service import sanitizer
+
+    if sanitizer.async_sanitize_enabled():
+        return sanitizer.run_sanitized(main)
+    return asyncio.run(main)
 
 
 class BackgroundServer:
@@ -427,7 +454,7 @@ class BackgroundServer:
 
             await self.service.serve_forever(on_ready=ready)
 
-        asyncio.run(main())
+        _run_service_loop(main())
 
     def __enter__(self) -> "BackgroundServer":
         """Start the thread and block until the server is listening."""

@@ -1,0 +1,31 @@
+"""R10 fail fixture: stale read-modify-write spanning an await.
+
+Each async def below reads shared state, suspends, then mutates based
+on the stale read — the close/update race class.  Three findings.
+"""
+import asyncio
+
+
+class Registry:
+    def __init__(self):
+        self.sessions = {}
+        self.counts = {}
+
+    def _lookup(self, name):
+        return self.sessions[name]
+
+    async def close_session(self, name):
+        session = self._lookup(name)
+        await session.drain()
+        del self.sessions[name]
+
+    async def bump(self, name):
+        count = self.counts.get(name, 0)
+        await asyncio.sleep(0)
+        self.counts[name] = count + 1
+
+
+async def apply_delta(state, delta):
+    seq = state.seq
+    await asyncio.sleep(0)
+    state.seq = seq + delta

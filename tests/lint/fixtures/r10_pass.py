@@ -1,0 +1,34 @@
+"""R10 pass fixture: the disciplines that disarm the interleaving check.
+
+Mutate *before* the await, re-read *after* it, or hold one async lock
+across both accesses — all clean.
+"""
+import asyncio
+
+
+class Registry:
+    def __init__(self):
+        self.sessions = {}
+        self.pending = []
+        self._lock = asyncio.Lock()
+
+    async def close_session(self, name):
+        session = self.sessions.pop(name)
+        await session.drain()
+        return session
+
+    async def drain_all(self):
+        while self.pending:
+            item = self.pending.pop()
+            await item.flush()
+
+    async def bump_locked(self, name):
+        async with self._lock:
+            count = self.sessions.get(name, 0)
+            await asyncio.sleep(0)
+            self.sessions[name] = count + 1
+
+    async def bump_fresh(self, name):
+        await asyncio.sleep(0)
+        count = self.sessions.get(name, 0)
+        self.sessions[name] = count + 1

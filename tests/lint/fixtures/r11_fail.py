@@ -1,0 +1,22 @@
+"""R11 fail fixture: blocking work reachable from async defs.
+
+A direct ``time.sleep``, a sync subprocess reached through a helper,
+and an await-free ``while True`` — three findings.
+"""
+import subprocess
+import time
+
+
+def _sync_probe(host):
+    return subprocess.run(["ping", "-c1", host])
+
+
+async def poll(host):
+    time.sleep(0.5)
+    return _sync_probe(host)
+
+
+async def spin(flag):
+    while True:
+        if flag.is_set():
+            return

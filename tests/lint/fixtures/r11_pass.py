@@ -1,0 +1,14 @@
+"""R11 pass fixture: async-native waiting and suspending loops."""
+import asyncio
+
+
+async def poll(host, probe):
+    await asyncio.sleep(0.5)
+    return await probe(host)
+
+
+async def pump(queue):
+    while True:
+        item = await queue.get()
+        if item is None:
+            return

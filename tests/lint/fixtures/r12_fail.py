@@ -1,0 +1,17 @@
+"""R12 fail fixture: lost coroutines and lost task handles.
+
+An un-awaited coroutine call, a dropped ``create_task`` handle, and a
+handle assigned but never touched again — three findings.
+"""
+import asyncio
+
+
+async def tick():
+    await asyncio.sleep(0)
+
+
+async def fire_and_forget():
+    tick()
+    asyncio.create_task(tick())
+    task = asyncio.create_task(tick())
+    return None

@@ -1,0 +1,19 @@
+"""R12 pass fixture: every coroutine awaited, every handle retained."""
+import asyncio
+
+
+async def tick():
+    await asyncio.sleep(0)
+
+
+async def supervised():
+    await tick()
+    task = asyncio.create_task(tick())
+    try:
+        return await task
+    finally:
+        task.cancel()
+
+
+async def registered(tasks):
+    tasks.append(asyncio.create_task(tick()))

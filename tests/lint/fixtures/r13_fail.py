@@ -1,0 +1,27 @@
+"""R13 fail fixture: lock-and-queue discipline breaches.
+
+An unbounded asyncio queue, a sync lock held across an await, a bare
+blocking acquire, and a future nobody will ever resolve — four
+findings.
+"""
+import asyncio
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self.queue = asyncio.Queue()
+        self._lock = threading.Lock()
+
+    async def locked_flush(self, sink):
+        with self._lock:
+            await sink.flush()
+
+    async def bare_acquire(self):
+        self._lock.acquire()
+        return True
+
+    async def stranded(self):
+        fut = asyncio.get_running_loop().create_future()
+        await fut
+        return True

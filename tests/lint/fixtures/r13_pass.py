@@ -1,0 +1,24 @@
+"""R13 pass fixture: bounded queues, async locks, handed-off futures."""
+import asyncio
+
+
+class Pipeline:
+    def __init__(self, depth):
+        self.queue = asyncio.Queue(maxsize=depth)
+        self._lock = asyncio.Lock()
+
+    async def locked_flush(self, sink):
+        async with self._lock:
+            await sink.flush()
+
+    def handoff(self, op):
+        fut = asyncio.get_running_loop().create_future()
+        self.queue.put_nowait((op, fut))
+        return fut
+
+    async def acquire_await(self):
+        await self._lock.acquire()
+        try:
+            return True
+        finally:
+            self._lock.release()

@@ -1,0 +1,28 @@
+"""R14 fail fixture: mutable state escaping into sibling tasks.
+
+The same mutable object handed to two gathered workers, and a loop
+spawning tasks that all capture one object from outside the loop —
+two findings.
+"""
+import asyncio
+
+
+class SessionState:
+    def __init__(self):
+        self.updates = []
+
+
+async def worker(state, tag):
+    state.updates.append(tag)
+    await asyncio.sleep(0)
+
+
+async def fan_out(state):
+    await asyncio.gather(worker(state, "a"), worker(state, "b"))
+
+
+async def spawn_loop(state, tags):
+    tasks = []
+    for tag in tags:
+        tasks.append(asyncio.create_task(worker(state, tag)))
+    await asyncio.gather(*tasks)

@@ -1,0 +1,47 @@
+"""R14 pass fixture: queues, bound methods, and per-iteration payloads.
+
+Sharing through an asyncio queue, spawning bound methods of the owner,
+and handing each task loop-fresh state are all sanctioned.
+"""
+import asyncio
+
+
+async def process(tag):
+    await asyncio.sleep(0)
+    return tag
+
+
+async def queue_worker(jobs):
+    while True:
+        item = await jobs.get()
+        if item is None:
+            return
+        jobs.task_done()
+
+
+async def per_task(tags):
+    tasks = [asyncio.create_task(process(tag)) for tag in tags]
+    await asyncio.gather(*tasks)
+
+
+async def queue_fanout(items):
+    jobs = asyncio.Queue(maxsize=64)
+    workers = [asyncio.create_task(queue_worker(jobs)) for _ in range(4)]
+    for item in items:
+        await jobs.put(item)
+    for _ in workers:
+        await jobs.put(None)
+    await asyncio.gather(*workers)
+
+
+class Responder:
+    async def serve(self, reader, outbox):
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            outbox.put_nowait(asyncio.create_task(self._reply(line)))
+
+    async def _reply(self, line):
+        await asyncio.sleep(0)
+        return line

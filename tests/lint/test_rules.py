@@ -104,10 +104,15 @@ def test_r5_set_iteration_only_near_tables():
 
 @pytest.mark.fast
 def test_rule_registry_is_complete():
-    assert sorted(RULES) == [
+    assert sorted(RULES, key=lambda c: int(c[1:])) == [
         "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+        "R10", "R11", "R12", "R13", "R14",
     ]
     for code, rule in RULES.items():
         assert rule.code == code
         assert rule.summary
+        assert not (rule.flow and rule.concurrency)
     assert [c for c, r in RULES.items() if r.flow] == ["R6", "R7", "R8", "R9"]
+    assert [c for c, r in RULES.items() if r.concurrency] == [
+        "R10", "R11", "R12", "R13", "R14",
+    ]

@@ -34,6 +34,73 @@ class TestPragmas:
 
 
 @pytest.mark.fast
+class TestSkipFilePragma:
+    def test_bare_skip_file_suppresses_everything(self):
+        src = "# repro-lint: skip-file\n" + VIOLATING
+        assert lint_source(src) == []
+
+    def test_bracketed_skip_file_suppresses_named_rule(self):
+        src = "# repro-lint: skip-file[R1]\n" + VIOLATING
+        assert lint_source(src, rules=[RULES["R1"]]) == []
+
+    def test_other_rule_skip_does_not_suppress(self):
+        src = "# repro-lint: skip-file[R2]\n" + VIOLATING
+        assert len(lint_source(src, rules=[RULES["R1"]])) == 1
+
+    def test_skip_file_works_from_any_line(self):
+        src = VIOLATING + "# repro-lint: skip-file[R1]\n"
+        assert lint_source(src, rules=[RULES["R1"]]) == []
+
+    def test_multiple_skip_lists_union(self):
+        src = ("# repro-lint: skip-file[R1]\n"
+               "# repro-lint: skip-file[R2]\n"
+               "import datetime\n"
+               + VIOLATING)
+        assert lint_source(src, rules=[RULES["R1"], RULES["R2"]]) == []
+
+
+@pytest.mark.fast
+class TestGithubFormat:
+    def violation(self, message, path="src/mod.py", rule="R1"):
+        from repro.lint import Violation
+
+        return Violation(path=path, line=3, col=4, rule=rule, message=message)
+
+    def render(self, *violations):
+        from repro.lint import format_github
+
+        return format_github(list(violations))
+
+    def test_basic_annotation_shape(self):
+        out = self.render(self.violation("plain message"))
+        assert out.splitlines()[0] == (
+            "::error file=src/mod.py,line=3,col=5,title=R1::plain message"
+        )
+
+    def test_newlines_in_message_are_escaped(self):
+        # A raw newline would truncate the annotation at the first line.
+        out = self.render(self.violation("first\nsecond\rthird"))
+        line = out.splitlines()[0]
+        assert "first%0Asecond%0Dthird" in line
+        assert len(out.splitlines()) == 2  # annotation + summary
+
+    def test_percent_is_escaped_first(self):
+        out = self.render(self.violation("50% done\n"))
+        assert "50%25 done%0A" in out.splitlines()[0]
+
+    def test_double_colon_in_message_survives(self):
+        # `::` inside the data portion must not start a new command.
+        out = self.render(self.violation("dict::value mismatch"))
+        assert out.splitlines()[0].endswith("::dict::value mismatch")
+
+    def test_property_escapes_colon_and_comma(self):
+        out = self.render(
+            self.violation("msg", path="weird,name::x.py")
+        )
+        assert "file=weird%2Cname%3A%3Ax.py," in out.splitlines()[0]
+
+
+@pytest.mark.fast
 class TestDiscovery:
     def test_fixture_directories_are_skipped(self, tmp_path):
         (tmp_path / "pkg").mkdir()

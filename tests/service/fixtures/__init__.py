@@ -1,0 +1,6 @@
+"""Deliberately-racy service variants for the sanitizer test suite.
+
+Everything in this directory reintroduces a concurrency bug on purpose
+(the lint runner's discovery skips ``fixtures`` directories, so these
+files never trip the repository-tree-is-clean gate).
+"""

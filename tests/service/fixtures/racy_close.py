@@ -1,0 +1,52 @@
+"""A :class:`MatchingService` with the pre-hardening close/update race.
+
+This reintroduces, verbatim in shape, the bug the service shipped with
+before the close path was hardened:
+
+* ``_handle_close`` pops the batcher, **awaits the drain**, and only
+  then unregisters the session — so for the whole drain the session
+  name is still visible in ``self.sessions`` while ``self.batchers``
+  has no entry for it;
+* ``_batcher`` indexes ``self.batchers`` directly instead of raising
+  ``no-such-session`` on a missing entry.
+
+An update racing the close therefore passes the ``_session`` lookup,
+lands in ``_batcher``, and dies with a ``KeyError`` that surfaces to
+the client as the ``internal`` error code.  The sanitizer test suite
+uses seeded schedule perturbation to re-discover this interleaving,
+and the R10 interleaving-hazard rule flags ``_handle_close`` statically
+(read of shared dict state before an await, mutation after it).
+"""
+
+from __future__ import annotations
+
+from repro.service.batching import MicroBatcher
+from repro.service.protocol import ProtocolError, ok_response
+from repro.service.server import MatchingService
+from repro.service.session import Session
+
+
+class RacyMatchingService(MatchingService):
+    """The matching service with the historical close/update race."""
+
+    def _session(self, request: dict) -> Session:
+        # Carried into the subclass verbatim so the whole racy read/
+        # await/write cycle lives in one class, as it did historically.
+        name = request["session"]
+        if name not in self.sessions:
+            raise ProtocolError("no-such-session", f"no session {name!r}")
+        return self.sessions[name]
+
+    async def _handle_close(self, request: dict) -> dict:
+        session = self._session(request)
+        batcher = self.batchers.pop(session.name)
+        # BUG: the drain suspends while the session is still registered,
+        # so a concurrent update can observe the half-closed state.
+        await batcher.close()
+        del self.sessions[session.name]
+        session.close()
+        return ok_response(closed=session.name, seq=session.seq)
+
+    def _batcher(self, session: Session) -> MicroBatcher:
+        # BUG: no missing-entry handling; racing updates get a KeyError.
+        return self.batchers[session.name]

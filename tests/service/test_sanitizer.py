@@ -1,0 +1,216 @@
+"""The deterministic interleaving sanitizer (REPRO_ASYNC_SANITIZE).
+
+The headline scenario: seeded schedule perturbation re-discovers the
+historical close/update race from the racy fixture
+(:mod:`tests.service.fixtures.racy_close`) within a fixed seed budget,
+the failing schedule replays byte-identically, and the hardened
+service stays clean across every one of the same schedules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.contracts import ContractViolation, check_interleaving_replay
+from repro.lint import RULES, lint_file
+from repro.service.sanitizer import (
+    DeterministicScheduler,
+    InterleavingTrace,
+    ScheduleDivergence,
+    async_sanitize_enabled,
+    run_deterministic,
+    run_sanitized,
+    seed_from_env,
+)
+from repro.service.server import BackgroundServer, MatchingService
+from tests.service.fixtures.racy_close import RacyMatchingService
+
+pytestmark = pytest.mark.fast
+
+#: The perturbation budget the race must fall within (acceptance bound).
+SEED_BUDGET = 10
+
+FIXTURE = "tests/service/fixtures/racy_close.py"
+
+
+def close_update_scenario(service_cls):
+    """Race one insert against one close on a fresh single-session
+    service, exactly the PR-5 regression shape, and return both
+    responses."""
+
+    async def main():
+        service = service_cls()
+        await service.handle_request(
+            {"op": "create", "session": "s", "num_vertices": 8,
+             "beta": 1, "epsilon": 0.4, "seed": 0}
+        )
+        loop = asyncio.get_running_loop()
+        update = loop.create_task(
+            service._respond('{"op": "insert", "session": "s", '
+                             '"u": 0, "v": 1}')
+        )
+        close = loop.create_task(
+            service._respond('{"op": "close", "session": "s"}')
+        )
+        return await asyncio.gather(update, close)
+
+    return main
+
+
+def find_racy_seed():
+    """First seed within budget whose schedule exposes the race."""
+    for seed in range(SEED_BUDGET):
+        (update, _close), _trace = run_deterministic(
+            close_update_scenario(RacyMatchingService)(), seed=seed
+        )
+        if update.get("error") == "internal":
+            return seed
+    return None
+
+
+class TestRaceRediscovery:
+    def test_fifo_schedule_masks_the_race(self):
+        # The bug needs an adversarial interleaving: plain FIFO order
+        # (= what a quiet event loop does) never exposes it, which is
+        # exactly why the perturbation mode exists.
+        (update, close), _trace = run_deterministic(
+            close_update_scenario(RacyMatchingService)()
+        )
+        assert update.get("ok") is True
+        assert close.get("ok") is True
+
+    def test_seeded_perturbation_rediscovers_the_race(self):
+        assert find_racy_seed() is not None, (
+            f"no seed in 0..{SEED_BUDGET - 1} exposed the close/update "
+            "race on the racy fixture"
+        )
+
+    def test_hardened_service_is_clean_on_every_schedule(self):
+        # The shipped close path (unregister before awaiting the drain)
+        # must survive every schedule the racy one fails under: racing
+        # updates either win or get no-such-session — never internal.
+        for seed in range(SEED_BUDGET):
+            (update, close), _trace = run_deterministic(
+                close_update_scenario(MatchingService)(), seed=seed
+            )
+            assert close.get("ok") is True
+            assert update.get("error", "") != "internal", (
+                f"hardened service errored internally under seed {seed}"
+            )
+
+    def test_failing_schedule_replays_byte_identically(self):
+        seed = find_racy_seed()
+        assert seed is not None
+        responses_a, trace_a = run_deterministic(
+            close_update_scenario(RacyMatchingService)(), seed=seed
+        )
+        responses_b, trace_b = run_deterministic(
+            close_update_scenario(RacyMatchingService)(), schedule=trace_a
+        )
+        assert responses_b == responses_a
+        assert responses_b[0].get("error") == "internal"
+        assert check_interleaving_replay(trace_a, trace_b) is trace_b
+        assert trace_a.to_json() == trace_b.to_json()
+
+    def test_static_rule_flags_the_fixture(self):
+        # The static half: R10 pins the read/await/write cycle without
+        # running anything.
+        violations = lint_file(FIXTURE, [RULES["R10"]])
+        assert violations, "R10 did not flag the racy fixture"
+        assert all(v.rule == "R10" for v in violations)
+
+
+class TestTrace:
+    def test_json_roundtrip_and_save_load(self, tmp_path):
+        _result, trace = run_deterministic(
+            close_update_scenario(MatchingService)(), seed=3
+        )
+        assert trace.seed == 3
+        assert [e.seq for e in trace.entries] == list(range(len(trace.entries)))
+        again = InterleavingTrace.from_json(trace.to_json())
+        assert again.to_json() == trace.to_json()
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        assert InterleavingTrace.load(path).to_json() == trace.to_json()
+
+    def test_from_json_rejects_other_formats(self):
+        with pytest.raises(ValueError, match="repro-async-trace-v1"):
+            InterleavingTrace.from_json(json.dumps({"format": "nope"}))
+
+    def test_divergence_is_detected_not_ignored(self):
+        # Replaying one program's schedule against a different program
+        # must fail loudly instead of exploring a third interleaving.
+        _result, trace = run_deterministic(
+            close_update_scenario(RacyMatchingService)(), seed=3
+        )
+
+        async def different_program():
+            await asyncio.gather(asyncio.sleep(0), asyncio.sleep(0))
+
+        with pytest.raises(ScheduleDivergence):
+            run_deterministic(different_program(), schedule=trace)
+
+    def test_contract_names_the_first_divergent_step(self):
+        a = InterleavingTrace(seed=1)
+        a.append(0, "t0:main")
+        a.append(1, "t1:worker")
+        b = InterleavingTrace(seed=1)
+        b.append(0, "t0:main")
+        b.append(0, "t0:main")
+        with pytest.raises(ContractViolation, match="step 1"):
+            check_interleaving_replay(a, b)
+
+    def test_scheduler_rejects_seed_plus_schedule(self):
+        with pytest.raises(ValueError, match="not both"):
+            DeterministicScheduler(seed=1, schedule=InterleavingTrace())
+
+
+class TestEnvGating:
+    def test_enabled_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ASYNC_SANITIZE", raising=False)
+        assert not async_sanitize_enabled()
+        for value in ("1", "true", "YES", " on "):
+            monkeypatch.setenv("REPRO_ASYNC_SANITIZE", value)
+            assert async_sanitize_enabled()
+        monkeypatch.setenv("REPRO_ASYNC_SANITIZE", "0")
+        assert not async_sanitize_enabled()
+
+    def test_seed_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ASYNC_SEED", raising=False)
+        assert seed_from_env() is None
+        monkeypatch.setenv("REPRO_ASYNC_SEED", "17")
+        assert seed_from_env() == 17
+        monkeypatch.setenv("REPRO_ASYNC_SEED", "not-a-seed")
+        with pytest.raises(ValueError, match="REPRO_ASYNC_SEED"):
+            seed_from_env()
+
+    def test_run_sanitized_dumps_trace(self, monkeypatch, tmp_path):
+        trace_path = tmp_path / "dump.json"
+        monkeypatch.setenv("REPRO_ASYNC_SEED", "5")
+        monkeypatch.setenv("REPRO_ASYNC_TRACE", str(trace_path))
+
+        async def main():
+            await asyncio.gather(asyncio.sleep(0), asyncio.sleep(0))
+            return "done"
+
+        assert run_sanitized(main()) == "done"
+        trace = InterleavingTrace.load(trace_path)
+        assert trace.seed == 5
+        assert trace.entries
+
+    def test_background_server_runs_under_sanitizer(self, monkeypatch):
+        # End to end: the real TCP server on the deterministic loop.
+        monkeypatch.setenv("REPRO_ASYNC_SANITIZE", "1")
+        from repro.service.client import ServiceClient
+
+        with BackgroundServer() as server:
+            with ServiceClient(server.host, server.port) as client:
+                client.create("s", num_vertices=16, beta=2, epsilon=0.5,
+                              seed=0, journal=False)
+                for u, v in [(0, 1), (2, 3), (4, 5)]:
+                    client.insert("s", u, v)
+                assert client.query_matching("s")["size"] == 1
+                assert client.close_session("s")["closed"] == "s"

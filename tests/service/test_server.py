@@ -277,3 +277,114 @@ class TestWireLevel:
             responses = self.run_raw(srv, payloads)
             assert [r["id"] for r in responses] == list(range(24))
             assert all(r["ok"] for r in responses)
+
+
+class TestConnectionLoop:
+    """The handle_connection reader/writer machinery, driven with fake
+    duck-typed streams so failure injection is deterministic."""
+
+    class FakeReader:
+        def __init__(self, lines):
+            self._lines = list(lines)
+
+        async def readline(self):
+            if self._lines:
+                return self._lines.pop(0)
+            return b""  # EOF
+
+    class FakeWriter:
+        def __init__(self, fail_on_drain=None, reset_on_drain=None):
+            self.chunks = []
+            self.closed = False
+            self.wait_closed_called = False
+            self._drains = 0
+            self._fail_on_drain = fail_on_drain
+            self._reset_on_drain = reset_on_drain
+
+        def write(self, data):
+            self.chunks.append(data)
+
+        async def drain(self):
+            self._drains += 1
+            if self._fail_on_drain == self._drains:
+                raise RuntimeError("injected writer failure")
+            if self._reset_on_drain == self._drains:
+                raise ConnectionResetError("client vanished")
+
+        def close(self):
+            self.closed = True
+
+        async def wait_closed(self):
+            self.wait_closed_called = True
+
+    def serve_lines(self, lines, writer, **config):
+        service = MatchingService(**config)
+
+        async def scenario():
+            await service.handle_connection(self.FakeReader(lines), writer)
+
+        asyncio.run(scenario())
+        return [json.loads(chunk) for chunk in writer.chunks]
+
+    def test_eof_drains_queued_responses_in_order(self):
+        # Pipelined requests followed by an abrupt EOF: every admitted
+        # request is still answered, in request order, before cleanup.
+        lines = [
+            (json.dumps({"op": "ping", "id": i}) + "\n").encode()
+            for i in range(5)
+        ]
+        writer = self.FakeWriter()
+        responses = self.serve_lines(lines, writer)
+        assert [r["id"] for r in responses] == list(range(5))
+        assert writer.closed and writer.wait_closed_called
+
+    def test_writer_failure_propagates_after_cleanup(self):
+        # A non-transport writer exception must surface (it is a bug,
+        # not client churn) — but only after the connection is closed
+        # and the reader loop has been woken off the semaphore.
+        lines = [
+            (json.dumps({"op": "ping", "id": i}) + "\n").encode()
+            for i in range(8)
+        ]
+        writer = self.FakeWriter(fail_on_drain=1)
+
+        async def scenario():
+            service = MatchingService(max_inflight=1)
+            await service.handle_connection(self.FakeReader(lines), writer)
+
+        with pytest.raises(RuntimeError, match="injected writer failure"):
+            asyncio.run(scenario())
+        assert writer.closed and writer.wait_closed_called
+
+    def test_connection_reset_is_swallowed(self):
+        # Transport-level resets are routine churn: no exception, no
+        # unclosed writer, no stuck tasks.
+        lines = [
+            (json.dumps({"op": "ping", "id": i}) + "\n").encode()
+            for i in range(3)
+        ]
+        writer = self.FakeWriter(reset_on_drain=1)
+        responses = self.serve_lines(lines, writer)
+        # The first response was written (its drain failed); nothing
+        # after it leaked out of the dead connection.
+        assert len(responses) >= 1
+        assert writer.closed and writer.wait_closed_called
+
+    def test_semaphore_wakeup_bounds_reader_after_writer_death(self):
+        # With the writer dead, the reader must exit promptly instead
+        # of consuming the socket forever: at most one extra line is
+        # read after the failure (the acquire it was already parked on).
+        lines = [
+            (json.dumps({"op": "ping", "id": i}) + "\n").encode()
+            for i in range(64)
+        ]
+        reader = self.FakeReader(lines)
+        writer = self.FakeWriter(fail_on_drain=1)
+
+        async def scenario():
+            service = MatchingService(max_inflight=2)
+            await service.handle_connection(reader, writer)
+
+        with pytest.raises(RuntimeError):
+            asyncio.run(scenario())
+        assert len(reader._lines) >= 60  # almost all input left unread
