@@ -11,10 +11,10 @@ The legacy mode is simulated faithfully: a *fresh* ``RuleContext`` per
 (file, rule) pair, so no rule shares the node index with another —
 exactly one full tree walk per rule per file, which is what the old
 per-rule ``ast.walk`` calls cost.  Only the syntactic rules R1-R5 are
-compared (the flow rules R6-R9 and the async-concurrency rules R10-R14
-postdate the shared index and never had a per-rule-walk form); the
-full fourteen-rule runtime and the async-rule-only runtime are
-reported alongside for context.
+compared (the flow rules R6-R9, the async-concurrency rules R10-R14,
+and the performance rules R15-R19 postdate the shared index and never
+had a per-rule-walk form); the full nineteen-rule runtime plus the
+async-only and perf-only runtimes are reported alongside for context.
 
 Usage::
 
@@ -38,11 +38,15 @@ from repro.lint.violations import collect_pragmas, is_suppressed
 #: The rules that exist in both modes (whole-program rules — flow and
 #: concurrency — have no per-rule-walk form to compare against).
 _SYNTACTIC = [
-    rule for rule in RULES.values() if not rule.flow and not rule.concurrency
+    rule for rule in RULES.values()
+    if not rule.flow and not rule.concurrency and not rule.perf
 ]
 
 #: The async-concurrency rules, timed as their own workload.
 _ASYNC = [rule for rule in RULES.values() if rule.concurrency]
+
+#: The performance rules (R15-R19), timed as their own workload.
+_PERF = [rule for rule in RULES.values() if rule.perf]
 
 
 def _timed(fn, *args, **kwargs):
@@ -95,10 +99,12 @@ def bench_lint(target: str, repeats: int) -> dict:
         shared_times.append(t_shared)
 
     _, t_full = _timed(lint_paths, [target])
-    async_times = []
+    async_times, perf_times = [], []
     for _ in range(repeats):
         _, t_async = _timed(lint_paths, [target], _ASYNC)
         async_times.append(t_async)
+        _, t_perf = _timed(lint_paths, [target], _PERF)
+        perf_times.append(t_perf)
     async_defs = sum(
         sum(isinstance(node, ast.AsyncFunctionDef) for node in ast.walk(tree))
         for tree, _text in sources.values()
@@ -112,10 +118,12 @@ def bench_lint(target: str, repeats: int) -> dict:
         "shared_index_seconds": round(best_shared, 4),
         "speedup": round(best_legacy / best_shared, 3),
         "identical_findings": True,
-        "full_r1_r14_seconds": round(t_full, 4),
+        "full_r1_r19_seconds": round(t_full, 4),
         "async_rules": [rule.code for rule in _ASYNC],
         "async_defs": int(async_defs),
         "async_r10_r14_seconds": round(min(async_times), 4),
+        "perf_rules": [rule.code for rule in _PERF],
+        "perf_r15_r19_seconds": round(min(perf_times), 4),
     }
 
 

@@ -10,6 +10,7 @@ Usage::
     repro-experiments lint src tests  # determinism/invariant linter
     repro-experiments rng-audit src   # RNG stream-flow audit (R6-R9)
     repro-experiments race-audit src/repro/service  # async audit (R10-R14)
+    repro-experiments perf-audit src/repro          # perf audit (R15-R19)
     repro-experiments serve --port 8765 --journal-dir journals
     repro-experiments replay journals/mysession.jsonl --json
 
@@ -153,6 +154,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import race_audit_main
 
         return race_audit_main(argv[1:])
+    if argv and argv[0] == "perf-audit":
+        from repro.lint.cli import perf_audit_main
+
+        return perf_audit_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
     if argv and argv[0] == "replay":
@@ -170,7 +175,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         nargs="?",
         help=f"experiment id ({id_range}), 'all', or the 'lint' / "
-             "'rng-audit' / 'race-audit' / 'serve' / 'replay' subcommands",
+             "'rng-audit' / 'race-audit' / 'perf-audit' / 'serve' / "
+             "'replay' subcommands",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"

@@ -273,6 +273,53 @@ def check_replay_sessions(recorded, replayed):
     return replayed
 
 
+def check_work_budget(
+    ops: int,
+    budget_chunks: int,
+    *,
+    chunk: int | None = None,
+    constant: float = 4.0,
+    slack: int = 0,
+) -> float:
+    """Assert one update's counted work respects the Theorem 3.5 cap.
+
+    ``ops`` is the operation count :class:`repro.instrument.workmeter.
+    WorkMeter` accumulated for one session update; ``budget_chunks`` is
+    the session's ``theorem_work_budget(beta, epsilon)`` (a number of
+    rebuild *chunks*, each ``chunk`` operations — defaults to
+    :data:`repro.dynamic.incremental.DEFAULT_CHUNK`).  The check is
+
+    ``ops <= constant * budget_chunks * chunk + slack``
+
+    where ``constant`` absorbs the bookkeeping overhead of counting
+    every touched edge rather than amortized chunks, and ``slack`` is an
+    additive allowance for the non-interruptible tail of a single
+    rebuild step (one augmentation search may perform up to
+    ``64 * delta + n`` operations between yields; sessions pass exactly
+    that).  Returns the *observed* constant ``ops / (budget_chunks *
+    chunk)`` so callers (the work meter, the hotspot report) can track
+    how close the implementation runs to the theoretical bound.
+    """
+    if budget_chunks < 1:
+        _fail(f"work budget must be >= 1 chunk, got {budget_chunks}")
+    if chunk is None:
+        from repro.dynamic.incremental import DEFAULT_CHUNK
+
+        chunk = DEFAULT_CHUNK
+    budget_ops = budget_chunks * chunk
+    observed = ops / budget_ops
+    cap = constant * budget_ops + slack
+    if ops > cap:
+        _fail(
+            f"update performed {ops} counted operations > cap {cap:.0f} "
+            f"(= {constant} x theorem_work_budget {budget_chunks} chunks "
+            f"x {chunk} ops + slack {slack}); observed constant "
+            f"{observed:.2f} — the Theorem 3.5 per-update bound does not "
+            "hold for the implementation"
+        )
+    return observed
+
+
 def check_interleaving_replay(recorded, replayed):
     """Assert a replayed interleaving trace is byte-identical to the
     recorded one.
@@ -316,5 +363,6 @@ __all__ = [
     "check_sparsifier_degree",
     "check_stream_fingerprints",
     "check_subgraph",
+    "check_work_budget",
     "contracts_enabled",
 ]

@@ -19,6 +19,7 @@ import numpy as np
 from repro.dynamic.graph import DynamicGraph
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
+from repro.instrument import workmeter
 from repro.instrument.rng import resolve_rng
 
 
@@ -73,6 +74,11 @@ class DynamicSparsifier:
             if self._edge_refs[e] == 0:
                 del self._edge_refs[e]
         self._marks[v].clear()
+        meter = workmeter.active()
+        if meter is not None:
+            meter.count("vertex-scan", "DynamicSparsifier._unmark_all")
+            meter.count("edge-touch", "DynamicSparsifier._unmark_all",
+                        max(ops, 1))
         return ops
 
     def _remark(self, v: int) -> int:
@@ -83,6 +89,11 @@ class DynamicSparsifier:
             self._marks[v].add(u)
             e = self._edge(v, u)
             self._edge_refs[e] = self._edge_refs.get(e, 0) + 1
+        meter = workmeter.active()
+        if meter is not None:
+            meter.count("vertex-scan", "DynamicSparsifier._remark")
+            meter.count("edge-touch", "DynamicSparsifier._remark",
+                        max(ops, 1))
         return max(1, ops)
 
     # ------------------------------------------------------------------ #

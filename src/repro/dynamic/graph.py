@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.graphs.adjacency import AdjacencyArrayGraph
 from repro.graphs.builder import from_edges
+from repro.instrument import workmeter
 
 
 class DynamicGraph:
@@ -71,10 +72,21 @@ class DynamicGraph:
     ) -> list[int]:
         """min(k, deg) distinct uniform random neighbors of v, O(k) time."""
         deg = len(self._adj[v])
+        meter = workmeter.active()
+        if meter is not None:
+            meter.count("vertex-scan", "DynamicGraph.sample_neighbors")
         if deg == 0:
             return []
         if k >= deg:
+            if meter is not None:
+                meter.count("edge-touch", "DynamicGraph.sample_neighbors",
+                            deg)
+                meter.count("allocation", "DynamicGraph.sample_neighbors")
             return list(self._adj[v])
+        if meter is not None:
+            meter.count("rng-draw", "DynamicGraph.sample_neighbors")
+            meter.count("edge-touch", "DynamicGraph.sample_neighbors", k)
+            meter.count("allocation", "DynamicGraph.sample_neighbors")
         picks = rng.choice(deg, size=k, replace=False)
         return [self._adj[v][int(i)] for i in picks]
 
@@ -98,6 +110,9 @@ class DynamicGraph:
         self._non_isolated.add(v)
         self._num_edges += 1
         self.version += 1
+        meter = workmeter.active()
+        if meter is not None:
+            meter.count("edge-touch", "DynamicGraph.insert")
 
     def delete(self, u: int, v: int) -> None:
         """Delete edge {u, v} (swap-with-last, O(1)).
@@ -121,6 +136,9 @@ class DynamicGraph:
                 self._non_isolated.discard(w)
         self._num_edges -= 1
         self.version += 1
+        meter = workmeter.active()
+        if meter is not None:
+            meter.count("edge-touch", "DynamicGraph.delete")
 
     def apply(self, op: str, u: int, v: int) -> None:
         """Apply an ``("insert"|"delete", u, v)`` update."""

@@ -24,6 +24,7 @@ from typing import Generator
 import numpy as np
 
 from repro.dynamic.graph import DynamicGraph
+from repro.instrument import workmeter
 from repro.instrument.rng import resolve_rng
 
 #: Yield granularity: one chunk ≈ this many elementary operations.  The
@@ -63,7 +64,10 @@ def _augmentation_search(
         nonlocal ops
         seen = np.zeros(n, dtype=bool)
         v = a
-        while True:
+        # Alternating-tree walks: each hop moves strictly rootward, so
+        # both loops terminate in <= path-length <= n steps, and every
+        # hop increments `ops`, charged against the caller's ops_cap.
+        while True:  # repro-lint: ignore[R18]
             ops += 1
             v = int(base[v])
             seen[v] = True
@@ -71,7 +75,7 @@ def _augmentation_search(
                 break
             v = int(parent[mate[v]])
         v = b
-        while True:
+        while True:  # repro-lint: ignore[R18]
             ops += 1
             v = int(base[v])
             if seen[v]:
@@ -80,7 +84,8 @@ def _augmentation_search(
 
     def mark_path(v: int, blossom_base: int, child: int) -> None:
         nonlocal ops
-        while int(base[v]) != blossom_base:
+        # Bounded by the blossom path length (<= n); ops-charged hops.
+        while int(base[v]) != blossom_base:  # repro-lint: ignore[R18]
             ops += 1
             in_blossom[base[v]] = True
             in_blossom[base[mate[v]]] = True
@@ -120,7 +125,9 @@ def _augmentation_search(
 
 def _apply_augmentation(mate: np.ndarray, parent: np.ndarray, free_end: int) -> None:
     v = free_end
-    while v != -1:
+    # Walks one augmenting path root-ward: <= path-length <= n hops,
+    # already charged to the search's ops_cap by the caller.
+    while v != -1:  # repro-lint: ignore[R18]
         pv = int(parent[v])
         nxt = int(mate[pv])
         mate[v] = pv
@@ -158,6 +165,10 @@ def incremental_rebuild(
     rng = resolve_rng(seed=seed, rng=rng, owner="incremental_rebuild")
     n = graph.num_vertices
     ops = 0
+    # Per-iteration (not per-stage) counting so each pumped chunk's work
+    # lands on the update that performed it — aggregate counts at stage
+    # end would charge a whole stage to whichever update finished it.
+    meter = workmeter.active()
 
     # ---- Stage 1: sampling (non-isolated vertices only; Lemma 2.2 makes
     # this output-sensitive: n' <= (beta+2)*|MCM|).  Vertices that gain
@@ -166,8 +177,13 @@ def incremental_rebuild(
     # Lemma 3.4 window slack.
     edge_set: set[tuple[int, int]] = set()
     for v in graph.non_isolated_vertices():
-        marks = graph.sample_neighbors(v, delta, rng)
+        # The Delta-sample must materialize its pick list (fresh
+        # randomness per vertex); preallocated sample buffers are the
+        # vectorization rewrite tracked in docs/PERFORMANCE.md.
+        marks = graph.sample_neighbors(v, delta, rng)  # repro-lint: ignore[R17]
         ops += max(1, len(marks))
+        if meter is not None:
+            meter.count("vertex-scan", "incremental_rebuild.sample")
         for u in marks:
             edge_set.add((v, u) if v < u else (u, v))
         if ops >= chunk:
@@ -176,8 +192,12 @@ def incremental_rebuild(
 
     # ---- Build adjacency lists (filter edges deleted meanwhile) -------
     adj: list[list[int]] = [[] for _ in range(n)]
+    if meter is not None:
+        meter.count("allocation", "incremental_rebuild.build_adj")
     for u, v in edge_set:
         ops += 1
+        if meter is not None:
+            meter.count("edge-touch", "incremental_rebuild.build_adj")
         if graph.has_edge(u, v):
             adj[u].append(v)
             adj[v].append(u)
@@ -187,11 +207,20 @@ def incremental_rebuild(
 
     # ---- Stage 2: greedy maximal matching -----------------------------
     mate = np.full(n, -1, dtype=np.int64)
-    for u in range(n):
+    if meter is not None:
+        meter.count("allocation", "incremental_rebuild.greedy")
+    # Scalar by design: the greedy pass must be interruptible every
+    # ~chunk ops (the whole point of this generator); the vectorized
+    # rewrite (docs/PERFORMANCE.md) replaces the stage wholesale.
+    for u in range(n):  # repro-lint: ignore[R15]
+        if meter is not None:
+            meter.count("vertex-scan", "incremental_rebuild.greedy")
         if mate[u] != -1:
             continue
         for v in adj[u]:
             ops += 1
+            if meter is not None:
+                meter.count("edge-touch", "incremental_rebuild.greedy")
             if mate[v] == -1 and graph.has_edge(u, v):
                 mate[u], mate[v] = v, u
                 break
@@ -207,14 +236,24 @@ def incremental_rebuild(
     ops_cap = search_cap_factor * delta if search_cap_factor else None
     for _ in range(sweeps):
         augmented = False
-        for root in range(n):
+        # Scalar by design, like the greedy stage: per-root searches
+        # are the chunked unit of interruptible work.
+        for root in range(n):  # repro-lint: ignore[R15]
+            if meter is not None:
+                meter.count("vertex-scan", "incremental_rebuild.augment")
             if mate[root] != -1 or not adj[root]:
                 continue
-            end, cost = _augmentation_search(
+            # Each search allocates one BFS deque; scratch arrays are
+            # already hoisted (parent/base/in_tree/in_blossom above) —
+            # the deque joins them in the vectorization rewrite.
+            end, cost = _augmentation_search(  # repro-lint: ignore[R17]
                 adj, mate, root, parent, base, in_tree, in_blossom,
                 ops_cap=ops_cap,
             )
             ops += cost
+            if meter is not None:
+                meter.count("edge-touch", "incremental_rebuild.augment",
+                            max(cost, 1))
             if end != -1:
                 _apply_augmentation(mate, parent, end)
                 augmented = True

@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.delta import DeltaPolicy
 from repro.dynamic.graph import DynamicGraph
 from repro.dynamic.incremental import DEFAULT_CHUNK, incremental_rebuild
+from repro.instrument import workmeter
 from repro.instrument.rng import resolve_rng
 from repro.matching.matching import Matching
 
@@ -145,14 +146,26 @@ class LazyRebuildMatching:
                 consumed += 1
                 self._rebuild_chunks += 1
             except StopIteration as stop:
-                new_mate = np.asarray(stop.value, dtype=np.int64)
+                # Runs once per *completed rebuild* (amortized over the
+                # whole update window), not per pumped chunk.
+                new_mate = np.asarray(  # repro-lint: ignore[R17]
+                    stop.value, dtype=np.int64
+                )
                 # Prune edges deleted while the rebuild was in flight.
-                for v in np.flatnonzero(new_mate >= 0):
-                    v = int(v)
-                    u = int(new_mate[v])
-                    if v < u and not self.graph.has_edge(v, u):
+                # Candidate endpoints are selected vectorized (one pass
+                # over the mate array); only the surviving lower
+                # endpoints hit the O(1) has_edge probe.
+                matched = np.flatnonzero(new_mate >= 0)
+                lower = matched[matched < new_mate[matched]]
+                partners = new_mate[lower]
+                for v, u in zip(lower.tolist(), partners.tolist()):
+                    if not self.graph.has_edge(v, u):
                         new_mate[v] = -1
                         new_mate[u] = -1
+                meter = workmeter.active()
+                if meter is not None:
+                    meter.count("edge-touch", "LazyRebuildMatching.prune",
+                                max(int(lower.size), 1))
                 self._mate = new_mate
                 self.rebuilds_completed += 1
                 self._last_rebuild_cost = max(1, self._rebuild_chunks)

@@ -117,11 +117,18 @@ class ObliviousDynamicMatching:
                 consumed += 1
                 self._cost += 1
             except StopIteration as stop:
-                new_mate = np.asarray(stop.value, dtype=np.int64)
-                for v in np.flatnonzero(new_mate >= 0):
-                    v = int(v)
-                    u = int(new_mate[v])
-                    if v < u and not self.graph.has_edge(v, u):
+                # Runs once per *completed rebuild* (amortized over the
+                # whole update window), not per pumped chunk.
+                new_mate = np.asarray(  # repro-lint: ignore[R17]
+                    stop.value, dtype=np.int64
+                )
+                # Candidate endpoints selected vectorized; only the
+                # surviving lower endpoints hit the O(1) has_edge probe.
+                matched = np.flatnonzero(new_mate >= 0)
+                lower = matched[matched < new_mate[matched]]
+                partners = new_mate[lower]
+                for v, u in zip(lower.tolist(), partners.tolist()):
+                    if not self.graph.has_edge(v, u):
                         new_mate[v] = -1
                         new_mate[u] = -1
                 self._mate = new_mate

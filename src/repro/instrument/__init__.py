@@ -25,6 +25,10 @@ from repro.instrument.rng import (
     stream_id,
 )
 from repro.instrument.timers import Timer
+from repro.instrument.workmeter import (
+    WorkMeter,
+    work_audit_enabled,
+)
 
 __all__ = [
     "Counter",
@@ -33,6 +37,7 @@ __all__ = [
     "RngSpec",
     "SanitizedGenerator",
     "Timer",
+    "WorkMeter",
     "resolve_rng",
     "rng_from_spec",
     "rng_sanitize_enabled",
@@ -40,4 +45,5 @@ __all__ = [
     "sanitize_rng",
     "spawn_rngs",
     "stream_id",
+    "work_audit_enabled",
 ]

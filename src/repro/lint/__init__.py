@@ -23,6 +23,13 @@ in the event loop, R12 lost task, R13 lock/queue discipline, R14
 cross-task aliasing) are computed by :mod:`repro.lint.async_flow` over
 the same whole-program index and registered alongside R1-R9.
 
+The performance rules (R15 scalar loop over array substrate, R16
+quadratic membership, R17 hot-loop allocation, R18 unbounded work path,
+R19 redundant recompute) are computed by :mod:`repro.lint.perf_flow`
+over the same index with hot-path reachability from the update entry
+points; they are opt-in via ``repro-experiments perf-audit`` and
+excluded from the default ``lint`` run.
+
 Suppress a finding per line with ``# repro-lint: ignore[R4]`` (or bare
 ``ignore`` for all rules), or a whole file with
 ``# repro-lint: skip-file[R10]``.  See ``docs/LINTING.md`` for the
@@ -32,6 +39,7 @@ catalogue.
 from repro.lint.rules import (
     ASYNC_RULES,
     FLOW_RULES,
+    PERF_RULES,
     RULES,
     Rule,
     RuleContext,
@@ -54,6 +62,7 @@ from repro.lint.violations import (
 __all__ = [
     "ASYNC_RULES",
     "FLOW_RULES",
+    "PERF_RULES",
     "RULES",
     "Rule",
     "RuleContext",

@@ -1,0 +1,119 @@
+"""Ratcheting baselines for the audit CLIs (``--baseline``).
+
+A CI gate over a freshly-audited rule set faces a bootstrap problem:
+pre-existing findings would turn the gate red on day one, so either the
+gate waits for a full cleanup or it never lands.  A *baseline* breaks
+the deadlock: ``--write-baseline FILE`` records today's findings in a
+canonical JSON file, and ``--baseline FILE`` suppresses exactly those on
+later runs — the gate is green now, *new* findings still fail, and
+deleting entries from the file ratchets the debt down monotonically.
+
+Baseline keys are ``(normalized path, rule, message)`` — deliberately
+**line-independent**, so unrelated edits that shift a known finding by a
+few lines do not resurrect it, while any new finding (new file, new
+rule, or a message naming a different construct) is never masked.
+Paths are normalized to repo-relative POSIX form so a baseline written
+on one machine (or in CI) matches locally.
+
+The file format is versioned, sorted, and newline-terminated so diffs
+of the baseline itself review cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path, PurePath
+from typing import Iterable, Sequence
+
+from repro.lint.violations import Violation
+
+#: Format marker written to (and required from) every baseline file.
+BASELINE_FORMAT = "repro-lint-baseline-v1"
+
+
+def baseline_key(violation: Violation) -> tuple[str, str, str]:
+    """The (path, rule, message) identity a baseline stores.
+
+    Line and column are excluded on purpose: a baseline must survive
+    unrelated edits above a known finding.
+    """
+    return (_normalize(violation.path), violation.rule, violation.message)
+
+
+def _normalize(path: str) -> str:
+    """Repo-relative POSIX form of a finding's path."""
+    pure = PurePath(path)
+    if pure.is_absolute():
+        try:
+            pure = pure.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return pure.as_posix()
+
+
+def write_baseline(path: str | Path,
+                   violations: Sequence[Violation]) -> int:
+    """Write the canonical baseline for ``violations``; returns entry count.
+
+    Entries are unique and sorted, so regenerating against an unchanged
+    tree is byte-identical.
+    """
+    entries = sorted({baseline_key(v) for v in violations})
+    payload = {
+        "format": BASELINE_FORMAT,
+        "findings": [
+            {"path": p, "rule": rule, "message": message}
+            for p, rule, message in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Read a baseline file back into its suppression-key set.
+
+    Raises
+    ------
+    ValueError
+        If the file is not a baseline (wrong/missing format marker or
+        malformed entries) — a mistyped path must fail loudly, not
+        silently suppress nothing.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or \
+            payload.get("format") != BASELINE_FORMAT:
+        raise ValueError(
+            f"baseline {path} is missing the {BASELINE_FORMAT!r} format "
+            "marker; generate one with --write-baseline"
+        )
+    keys: set[tuple[str, str, str]] = set()
+    for entry in payload.get("findings", []):
+        try:
+            keys.add((entry["path"], entry["rule"], entry["message"]))
+        except (TypeError, KeyError) as exc:
+            raise ValueError(
+                f"baseline {path} has a malformed finding entry: {entry!r}"
+            ) from exc
+    return keys
+
+
+def filter_baselined(
+    violations: Iterable[Violation],
+    keys: set[tuple[str, str, str]],
+) -> tuple[list[Violation], int]:
+    """Split findings into (kept, suppressed-count) against a baseline."""
+    kept: list[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        if baseline_key(violation) in keys:
+            suppressed += 1
+        else:
+            kept.append(violation)
+    return kept, suppressed

@@ -37,6 +37,13 @@ generator escape, process-boundary crossing, draw-order hazard).  See
 that module's docstring for the semantics and ``docs/LINTING.md`` for
 worked examples.
 
+R15-R19 are the *performance* rules (:mod:`repro.lint.perf_flow`):
+scalar loops over the array substrate, quadratic membership, per-
+iteration allocation, unbudgeted while loops, and loop-invariant
+recomputation on the hot update path.  They are opt-in — the
+``perf-audit`` subcommand runs them; plain ``lint`` does not, so the
+repo-wide determinism gate stays focused on correctness.
+
 Rules R1-R5 read the parsed module through :meth:`RuleContext.nodes`, a
 node index built with **one** ``ast.walk`` per file and shared by every
 rule — the pre-1.3 runner re-walked the full tree once per rule
@@ -162,6 +169,10 @@ class Rule:
         Whether this is an async-concurrency rule (R10-R14) — the set
         the ``race-audit`` subcommand runs
         (:mod:`repro.lint.async_flow`).
+    perf:
+        Whether this is a performance rule (R15-R19) — the set the
+        ``perf-audit`` subcommand runs (:mod:`repro.lint.perf_flow`).
+        Perf rules are excluded from the default ``lint`` run.
     """
 
     code: str
@@ -170,6 +181,7 @@ class Rule:
     check: Callable[[RuleContext], list[Violation]]
     flow: bool = False
     concurrency: bool = False
+    perf: bool = False
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -490,6 +502,20 @@ def _async_check(code: str) -> Callable[[RuleContext], list[Violation]]:
     return check
 
 
+def _perf_check(code: str) -> Callable[[RuleContext], list[Violation]]:
+    """Bind one performance-rule code to the shared perf pass."""
+
+    def check(ctx: RuleContext) -> list[Violation]:
+        # Imported lazily, mirroring _flow_check.
+        from repro.lint import perf_flow
+
+        return perf_flow.violations_for(ctx, code)
+
+    check.__name__ = f"_check_{code.lower()}"
+    check.__doc__ = f"{code} — see repro.lint.perf_flow."
+    return check
+
+
 #: The registry, in report order.  Keys are the pragma/ignore codes.
 RULES: dict[str, Rule] = {
     "R1": Rule("R1", "no-global-randomness",
@@ -545,6 +571,29 @@ RULES: dict[str, Rule] = {
                 "no mutable object escaping into two concurrently-live "
                 "tasks; queues and locks are the sanctioned channels",
                 _async_check("R14"), concurrency=True),
+    "R15": Rule("R15", "scalar-loop-over-array-substrate",
+                "no scalar python for-loop over graph substrate or "
+                "numpy arrays doing per-element array work; vectorize "
+                "over the flat adjacency arrays", _perf_check("R15"),
+                perf=True),
+    "R16": Rule("R16", "quadratic-membership",
+                "no list/tuple `in` probes or index()/remove() inside "
+                "loops reachable from update/rebuild paths; use "
+                "sets/dicts", _perf_check("R16"), perf=True),
+    "R17": Rule("R17", "hot-loop-allocation",
+                "no container/array construction, comprehension, or "
+                "string formatting per iteration in functions reachable "
+                "from the update entry points", _perf_check("R17"),
+                perf=True),
+    "R18": Rule("R18", "unbounded-work-path",
+                "every while loop reachable from a session update is "
+                "dominated by a budget/chunk/cap check (the Theorem "
+                "3.5 max_chunks_per_update cap)", _perf_check("R18"),
+                perf=True),
+    "R19": Rule("R19", "redundant-recompute",
+                "no loop-invariant len()/attribute-chain re-evaluated "
+                "every iteration; hoist it before the loop",
+                _perf_check("R19"), perf=True),
 }
 
 #: The flow-rule subset (what ``repro-experiments rng-audit`` runs).
@@ -556,4 +605,9 @@ FLOW_RULES: dict[str, Rule] = {
 #: runs).
 ASYNC_RULES: dict[str, Rule] = {
     code: rule for code, rule in RULES.items() if rule.concurrency
+}
+
+#: The performance subset (what ``repro-experiments perf-audit`` runs).
+PERF_RULES: dict[str, Rule] = {
+    code: rule for code, rule in RULES.items() if rule.perf
 }

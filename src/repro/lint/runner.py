@@ -66,6 +66,12 @@ def discover_files(paths: Sequence[str | Path]) -> list[Path]:
     skipping :data:`SKIP_DIRS` components and hidden directories;
     explicit file paths pass through unconditionally (this is how the
     test suite lints fixtures that a tree walk would skip).
+
+    Overlapping targets (``src src/repro``, a relative and an absolute
+    spelling of one tree, symlinked duplicates) are deduplicated by
+    *resolved* path, keeping the first spelling seen — so every file is
+    parsed, linted, and reported exactly once regardless of how many of
+    the given roots cover it.
     """
     found: list[Path] = []
     for raw in paths:
@@ -77,10 +83,10 @@ def discover_files(paths: Sequence[str | Path]) -> list[Path]:
         else:
             raise FileNotFoundError(f"lint target {path} is not a .py file "
                                     "or directory")
-    unique: dict[Path, None] = {}
+    unique: dict[Path, Path] = {}
     for path in found:
-        unique.setdefault(path, None)
-    return list(unique)
+        unique.setdefault(path.resolve(), path)
+    return list(unique.values())
 
 
 def _lint_parsed(

@@ -36,9 +36,18 @@ def percentile(samples: list[float], q: float) -> float:
     """
     if not samples:
         return 0.0
+    return percentile_sorted(sorted(samples), q)
+
+
+def percentile_sorted(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list.
+
+    The sort-free core of :func:`percentile`, so callers taking several
+    percentiles of one window (:meth:`LatencyRecorder.snapshot`) sort
+    once instead of once per quantile.
+    """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile q must lie in [0, 100], got {q}")
-    ordered = sorted(samples)
     rank = max(1, -(-int(q * len(ordered)) // 100))  # ceil without math
     return ordered[min(rank, len(ordered)) - 1]
 
@@ -71,12 +80,20 @@ class LatencyRecorder:
 
     def snapshot(self) -> dict:
         """Percentile summary: count, p50/p95/p99/max ms, budget, misses."""
+        ordered = sorted(self.samples_ms)
+        if not ordered:
+            p50 = p95 = p99 = peak = 0.0
+        else:
+            p50 = percentile_sorted(ordered, 50.0)
+            p95 = percentile_sorted(ordered, 95.0)
+            p99 = percentile_sorted(ordered, 99.0)
+            peak = ordered[-1]
         return {
-            "count": len(self.samples_ms),
-            "p50_ms": round(percentile(self.samples_ms, 50.0), 4),
-            "p95_ms": round(percentile(self.samples_ms, 95.0), 4),
-            "p99_ms": round(percentile(self.samples_ms, 99.0), 4),
-            "max_ms": round(max(self.samples_ms, default=0.0), 4),
+            "count": len(ordered),
+            "p50_ms": round(p50, 4),
+            "p95_ms": round(p95, 4),
+            "p99_ms": round(p99, 4),
+            "max_ms": round(peak, 4),
             "budget_ms": self.budget_ms,
             "over_budget": self.over_budget,
         }

@@ -41,7 +41,9 @@ from repro.dynamic.baseline import DynamicMaximalMatching
 from repro.dynamic.dynamic_sparsifier import DynamicSparsifier
 from repro.dynamic.lazy_rebuild import LazyRebuildMatching
 from repro.dynamic.oblivious import ObliviousDynamicMatching
+from repro.contracts import check_work_budget
 from repro.dynamic.stability import StabilityTracker
+from repro.instrument import workmeter
 from repro.instrument.rng import (
     RngFingerprint,
     RngSpec,
@@ -207,6 +209,10 @@ class Session:
         self.seq = 0
         self._tracker: StabilityTracker | None = None
         self._tracked_rebuilds = -1
+        # Work auditing (REPRO_WORK_AUDIT=1): installs the ambient op
+        # meter; apply() then verifies every update against the Theorem
+        # 3.5 cap via contracts.check_work_budget.
+        workmeter.enable_from_env()
         if journal is not None:
             journal.write_header(self)
 
@@ -239,8 +245,21 @@ class Session:
         if op not in ("insert", "delete"):
             raise UpdateError(f"unknown update op {op!r}")
         self._validate(op, u, v)
+        meter = workmeter.active()
+        if meter is not None:
+            meter.begin_update()
         self.sparsifier.update(op, u, v)
         self.matcher.update(op, u, v)
+        if meter is not None:
+            ops = meter.end_update()
+            # One rebuild step is non-interruptible: a single pumped
+            # chunk may run an augmentation search (≤ 64·Δ ops) plus a
+            # stage-boundary vertex sweep (≤ n ops) before yielding —
+            # additive slack, not part of the multiplicative constant.
+            meter.record_constant(check_work_budget(
+                ops, self.work_budget,
+                slack=64 * self.delta + self.num_vertices,
+            ))
         self.seq += 1
         if self.journal is not None:
             self.journal.record(self.seq, op, u, v)

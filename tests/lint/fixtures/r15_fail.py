@@ -1,0 +1,27 @@
+"""R15 failing fixture: scalar loops over the array substrate."""
+
+import numpy as np
+
+
+def prune_stale(graph, mate: np.ndarray):
+    for v in np.flatnonzero(mate >= 0):
+        u = int(mate[v])
+        if not graph.has_edge(v, u):
+            mate[v] = -1
+
+
+def degree_histogram(graph):
+    counts = np.zeros(graph.num_vertices, dtype=np.int64)
+    for u, v in graph.edges():
+        counts[u] = np.add(counts[u], 1)
+    return counts
+
+
+def greedy_pass(graph):
+    n = graph.num_vertices
+    mate = np.full(n, -1)
+    matched = 0
+    for u in range(n):
+        if int(mate[u]) >= 0:
+            matched += 1
+    return matched

@@ -1,0 +1,28 @@
+"""R15 passing fixture: vectorized work and pure-python loop bodies."""
+
+import numpy as np
+
+
+def prune_stale(graph, mate: np.ndarray):
+    matched = np.flatnonzero(mate >= 0)
+    lower = matched[matched < mate[matched]]
+    partners = mate[lower]
+    for v, u in zip(lower.tolist(), partners.tolist()):
+        if not graph.has_edge(v, u):
+            mate[v] = -1
+            mate[u] = -1
+
+
+def collect_components(graph):
+    labels = []
+    for u, v in graph.edges():
+        if u < v:
+            labels.append((u, v))
+    return labels
+
+
+def summarize(rows):
+    total = 0
+    for row in rows:
+        total += np.sum(row)
+    return total

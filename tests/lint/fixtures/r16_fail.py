@@ -1,0 +1,16 @@
+"""R16 failing fixture: quadratic membership on the hot update path."""
+
+
+class DynamicSparsifier:
+    def __init__(self):
+        self.seen = []
+
+    def update(self, ops):
+        seen = list(self.seen)
+        pending = sorted(ops)
+        for op in ops:
+            if op in seen:
+                continue
+            seen.append(op)
+            pending.remove(op)
+        return seen

@@ -1,0 +1,26 @@
+"""R16 passing fixture: set membership on the hot path, cold lists."""
+
+
+class DynamicSparsifier:
+    def __init__(self):
+        self.seen = set()
+
+    def update(self, ops):
+        seen = set(self.seen)
+        pending = {op: True for op in ops}
+        for op in ops:
+            if op in seen:
+                continue
+            if op in ("insert", "delete"):
+                seen.add(op)
+            pending.pop(op, None)
+        return seen
+
+
+def summarize_cold(ops):
+    labels = list(ops)
+    out = []
+    for op in ops:
+        if op in labels:
+            out.append(op)
+    return out

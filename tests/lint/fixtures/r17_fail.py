@@ -1,0 +1,23 @@
+"""R17 failing fixture: per-iteration allocation on the hot path."""
+
+
+class LazyRebuildMatching:
+    def update(self, ops):
+        states = []
+        for op in ops:
+            record = {"op": op, "tick": len(states)}
+            states.append(record)
+            self._note(op)
+        return self.rebuild(states)
+
+    def _note(self, op):
+        self._trace = f"op={op}"
+
+    def _sample(self, k):
+        return list(range(k))
+
+    def rebuild(self, verts):
+        picks = []
+        for v in verts:
+            picks.append(self._sample(v))
+        return picks

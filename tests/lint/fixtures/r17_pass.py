@@ -1,0 +1,24 @@
+"""R17 passing fixture: hoisted buffers on the hot path, cold allocs."""
+
+
+class LazyRebuildMatching:
+    def __init__(self):
+        self._scratch = []
+
+    def update(self, ops):
+        buffer = self._scratch
+        buffer.clear()
+        for op in ops:
+            buffer.append(op)
+            self._note(op)
+        return tuple(buffer)
+
+    def _note(self, op):
+        self._last = op
+
+
+def render_report(rows):
+    lines = []
+    for row in rows:
+        lines.append(f"row={row}")
+    return lines

@@ -1,0 +1,17 @@
+"""R18 failing fixture: unbudgeted while loops on the update path."""
+
+
+class Session:
+    def apply(self, op, queue):
+        while queue:
+            item = queue.pop()
+            self._chase(item)
+        return op
+
+    def _chase(self, v):
+        while v != -1:
+            v = self._parent(v)
+        return v
+
+    def _parent(self, v):
+        return v - 1

@@ -1,0 +1,26 @@
+"""R18 passing fixture: budget-dominated loops, cold unbounded loops."""
+
+
+class Session:
+    def apply(self, op, queue):
+        consumed = 0
+        while consumed < self.budget:
+            if not queue:
+                break
+            queue.pop()
+            consumed += 1
+        return self._drain(queue, op)
+
+    def _drain(self, queue, max_chunks_per_update):
+        drained = 0
+        while queue:
+            if drained >= max_chunks_per_update:
+                break
+            queue.pop()
+            drained += 1
+        return drained
+
+
+def spin_cold(queue):
+    while queue:
+        queue.pop()

@@ -1,0 +1,19 @@
+"""R19 failing fixture: loop-invariant work redone every iteration."""
+
+
+def pair_up(vertices, graph):
+    pairs = []
+    for v in vertices:
+        if len(vertices) > 2 and v < len(vertices) - 1:
+            pairs.append((v, graph.stats.degree_sum))
+        elif graph.stats.degree_sum > 0:
+            pairs.append((v, 0))
+    return pairs
+
+
+def drain(queue, items):
+    moved = 0
+    while moved < len(items):
+        queue.push(items[moved])
+        moved += 1
+    return moved

@@ -1,0 +1,22 @@
+"""R19 passing fixture: hoisted invariants, genuinely varying state."""
+
+
+def pair_up(vertices, graph):
+    pairs = []
+    count = len(vertices)
+    degree_sum = graph.stats.degree_sum
+    for v in vertices:
+        if count > 2 and v < count - 1:
+            pairs.append((v, degree_sum))
+        elif degree_sum > 0:
+            pairs.append((v, 0))
+    return pairs
+
+
+def accumulate(rows):
+    out = []
+    for row in rows:
+        if len(out) > 4 and len(out) < 32:
+            out.pop()
+        out.append(row)
+    return out

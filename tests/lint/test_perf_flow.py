@@ -1,0 +1,628 @@
+"""Performance rules R15-R19, the ``perf-audit`` CLI, and baselines.
+
+Each rule gets a pass/fail fixture pair under ``fixtures/`` (asserted
+line by line) plus targeted snippet tests for the semantics that keep
+the rule quiet on correct code — vectorized substrates, set membership,
+hoisted allocations, budget-guarded loops, mutation-aware invariance —
+and for the hot-root scoping that confines R16-R18 to the update path.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import PERF_RULES, RULES, lint_file, lint_source
+from repro.lint.cli import main as lint_main
+from repro.lint.cli import perf_audit_main
+from repro.lint import perf_flow
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+pytestmark = pytest.mark.fast
+
+#: A class whose method suffix-matches a default hot root, so snippet
+#: loops inside it are on the hot path without extra --hot-roots setup.
+HOT_PREFIX = (
+    "class DynamicSparsifier:\n"
+    "    def update(self, op, u, v):\n"
+)
+
+
+def _codes(source, *rules, path="snippet.py"):
+    selected = [RULES[c] for c in rules] if rules else list(PERF_RULES.values())
+    return [v.rule for v in lint_source(source, path=path, rules=selected)]
+
+
+def _fixture_lines(code, kind):
+    path = FIXTURES / f"{code.lower()}_{kind}.py"
+    violations = lint_file(path, [RULES[code]])
+    assert all(v.rule == code for v in violations)
+    return [v.line for v in violations]
+
+
+class TestFixtures:
+    """The acceptance matrix: every rule has a firing and a clean file."""
+
+    @pytest.mark.parametrize("code,lines", [
+        ("R15", [7, 15, 24]),
+        ("R16", [12, 15]),
+        ("R17", [8, 10, 22]),
+        ("R18", [6, 12]),
+        ("R19", [7, 8, 16]),
+    ])
+    def test_fail_fixture_fires_on_exact_lines(self, code, lines):
+        assert _fixture_lines(code, "fail") == lines
+
+    @pytest.mark.parametrize("code", ["R15", "R16", "R17", "R18", "R19"])
+    def test_pass_fixture_is_clean(self, code):
+        assert _fixture_lines(code, "pass") == []
+
+
+class TestR15ScalarLoop:
+    def test_loop_over_edges_with_numpy_body_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def walk(graph):\n"
+            "    for u, v in graph.edges():\n"
+            "        np.add(u, v)\n"
+        )
+        assert _codes(src, "R15") == ["R15"]
+
+    def test_loop_without_array_work_is_clean(self):
+        src = (
+            "def walk(graph, out):\n"
+            "    for u, v in graph.edges():\n"
+            "        out.append((u, v))\n"
+        )
+        assert _codes(src, "R15") == []
+
+    def test_range_over_vertex_count_with_subscript_read_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def scan(graph, mate: np.ndarray):\n"
+            "    n = graph.num_vertices\n"
+            "    for u in range(n):\n"
+            "        if mate[u] >= 0:\n"
+            "            pass\n"
+        )
+        assert _codes(src, "R15") == ["R15"]
+
+    def test_subscript_store_only_body_is_clean(self):
+        # Writes into the array are how a scalar fixup loop ends; only
+        # per-element *reads*/calls mark the loop as vectorizable work.
+        src = (
+            "import numpy as np\n"
+            "def clear(items, mate: np.ndarray):\n"
+            "    for u in items:\n"
+            "        mate[u] = -1\n"
+        )
+        assert _codes(src, "R15") == []
+
+    def test_zip_of_tolist_is_clean(self):
+        # The vectorized-prune idiom: select candidates with flatnonzero,
+        # then iterate plain python lists — the loop iterable is a zip,
+        # not the substrate.
+        src = (
+            "import numpy as np\n"
+            "def prune(graph, mate: np.ndarray):\n"
+            "    lower = np.flatnonzero(mate >= 0)\n"
+            "    partners = mate[lower]\n"
+            "    for v, u in zip(lower.tolist(), partners.tolist()):\n"
+            "        graph.drop(v, u)\n"
+        )
+        assert _codes(src, "R15") == []
+
+    def test_loop_over_flatnonzero_with_int_conversion_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def collect(mate: np.ndarray):\n"
+            "    for v in np.flatnonzero(mate >= 0):\n"
+            "        yield int(mate[v])\n"
+        )
+        assert _codes(src, "R15") == ["R15"]
+
+
+class TestR16Membership:
+    def test_list_membership_in_hot_loop_fires(self):
+        src = HOT_PREFIX + (
+            "        pending = []\n"
+            "        for edge in self.edges:\n"
+            "            if edge in pending:\n"
+            "                continue\n"
+            "            pending.append(edge)\n"
+        )
+        assert _codes(src, "R16") == ["R16"]
+
+    def test_set_membership_is_clean(self):
+        src = HOT_PREFIX + (
+            "        pending = set()\n"
+            "        for edge in self.edges:\n"
+            "            if edge in pending:\n"
+            "                continue\n"
+            "            pending.add(edge)\n"
+        )
+        assert _codes(src, "R16") == []
+
+    def test_cold_function_is_out_of_scope(self):
+        src = (
+            "def report(rows):\n"
+            "    shown = []\n"
+            "    for row in rows:\n"
+            "        if row in shown:\n"
+            "            continue\n"
+            "        shown.append(row)\n"
+        )
+        assert _codes(src, "R16") == []
+
+    def test_literal_display_membership_is_exempt(self):
+        src = HOT_PREFIX + (
+            "        for op in self.ops:\n"
+            "            if op in ('insert', 'delete'):\n"
+            "                pass\n"
+        )
+        assert _codes(src, "R16") == []
+
+    def test_list_remove_in_hot_loop_fires(self):
+        src = HOT_PREFIX + (
+            "        queue = list(self.pending)\n"
+            "        for edge in self.edges:\n"
+            "            queue.remove(edge)\n"
+        )
+        assert _codes(src, "R16") == ["R16"]
+
+
+class TestR17HotAllocation:
+    def test_list_literal_per_iteration_fires(self):
+        src = HOT_PREFIX + (
+            "        for edge in self.edges:\n"
+            "            self.log.append([op, edge])\n"
+        )
+        assert _codes(src, "R17") == ["R17"]
+
+    def test_hoisted_allocation_is_clean(self):
+        src = HOT_PREFIX + (
+            "        batch = []\n"
+            "        for edge in self.edges:\n"
+            "            batch.append(edge)\n"
+        )
+        assert _codes(src, "R17") == []
+
+    def test_cold_function_allocates_freely(self):
+        src = (
+            "def summarize(rows):\n"
+            "    for row in rows:\n"
+            "        yield {'row': row}\n"
+        )
+        assert _codes(src, "R17") == []
+
+    def test_one_hop_callee_allocation_fires(self):
+        # update() itself allocates nothing per iteration, but the hot
+        # helper it calls in the loop does — the interprocedural case.
+        src = (
+            "class DynamicSparsifier:\n"
+            "    def update(self, op, u, v):\n"
+            "        for w in self.touched:\n"
+            "            self._resample(w)\n"
+            "    def _resample(self, w):\n"
+            "        self.marks[w] = set()\n"
+        )
+        assert _codes(src, "R17") == ["R17"]
+
+    def test_pragma_on_call_line_suppresses(self):
+        src = HOT_PREFIX + (
+            "        for edge in self.edges:\n"
+            "            self.log.append([op, edge])"
+            "  # repro-lint: ignore[R17]\n"
+        )
+        assert _codes(src, "R17") == []
+
+
+class TestR18UnboundedWork:
+    def test_bare_while_true_in_hot_function_fires(self):
+        src = HOT_PREFIX + (
+            "        while True:\n"
+            "            if self.step():\n"
+            "                break\n"
+        )
+        assert _codes(src, "R18") == ["R18"]
+
+    def test_budget_in_condition_is_clean(self):
+        src = HOT_PREFIX + (
+            "        spent = 0\n"
+            "        while spent < self.budget:\n"
+            "            spent += self.step()\n"
+        )
+        assert _codes(src, "R18") == []
+
+    def test_budget_guarded_break_is_clean(self):
+        src = HOT_PREFIX + (
+            "        while self.pending:\n"
+            "            if self.ops > self.chunk_cap:\n"
+            "                break\n"
+            "            self.step()\n"
+        )
+        assert _codes(src, "R18") == []
+
+    def test_budget_mention_without_exit_still_fires(self):
+        # Reading a budget inside the loop is not the same as letting it
+        # terminate the loop.
+        src = HOT_PREFIX + (
+            "        while self.pending:\n"
+            "            self.log(self.budget)\n"
+        )
+        assert _codes(src, "R18") == ["R18"]
+
+    def test_cold_while_is_out_of_scope(self):
+        src = (
+            "def drain(queue):\n"
+            "    while queue:\n"
+            "        queue.pop()\n"
+        )
+        assert _codes(src, "R18") == []
+
+
+class TestR19RedundantRecompute:
+    def test_repeated_len_fires(self):
+        src = (
+            "def pad(rows, out):\n"
+            "    for row in rows:\n"
+            "        out.append(len(rows) - 1)\n"
+            "        out.append(len(rows) + 1)\n"
+        )
+        assert _codes(src, "R19") == ["R19"]
+
+    def test_len_of_mutated_sequence_is_clean(self):
+        src = (
+            "def drain(rows, out):\n"
+            "    for row in list(rows):\n"
+            "        rows.pop()\n"
+            "        out.append(len(rows))\n"
+            "        out.append(len(rows))\n"
+        )
+        assert _codes(src, "R19") == []
+
+    def test_deep_attribute_chain_twice_fires(self):
+        src = (
+            "def scan(session, items):\n"
+            "    for item in items:\n"
+            "        a = session.graph.num_vertices\n"
+            "        b = session.graph.num_vertices\n"
+            "        item.use(a, b)\n"
+        )
+        assert _codes(src, "R19") == ["R19"]
+
+    def test_mutated_root_defeats_invariance(self):
+        src = (
+            "def scan(session, items):\n"
+            "    for item in items:\n"
+            "        session = item.fork()\n"
+            "        a = session.graph.num_vertices\n"
+            "        b = session.graph.num_vertices\n"
+        )
+        assert _codes(src, "R19") == []
+
+    def test_len_in_while_condition_fires(self):
+        src = (
+            "def spin(rows, out):\n"
+            "    while len(rows) > len(out):\n"
+            "        out.append(1)\n"
+        )
+        assert _codes(src, "R19") == ["R19"]
+
+
+class TestHotRoots:
+    def test_custom_root_brings_function_in_scope(self):
+        src = (
+            "class Walker:\n"
+            "    def crawl(self):\n"
+            "        while True:\n"
+            "            self.step()\n"
+        )
+        assert _codes(src, "R18") == []
+        perf_flow.set_hot_roots(
+            perf_flow.DEFAULT_HOT_ROOTS + ("Walker.crawl",)
+        )
+        try:
+            assert _codes(src, "R18") == ["R18"]
+        finally:
+            perf_flow.set_hot_roots(None)
+
+    def test_set_hot_roots_none_restores_defaults(self):
+        perf_flow.set_hot_roots(("Only.this",))
+        perf_flow.set_hot_roots(None)
+        assert perf_flow.hot_root_specs() == perf_flow.DEFAULT_HOT_ROOTS
+
+    def test_reachability_through_self_attribute(self):
+        # Session.apply -> self.matcher.update where self.matcher is a
+        # program class: the attribute-type binder makes update() hot.
+        src = (
+            "class Engine:\n"
+            "    def step(self):\n"
+            "        while True:\n"
+            "            self.tick()\n"
+            "class Session:\n"
+            "    def __init__(self):\n"
+            "        self.engine = Engine()\n"
+            "    def apply(self, op):\n"
+            "        self.engine.step()\n"
+        )
+        assert _codes(src, "R18") == ["R18"]
+
+
+class TestPerfRulesAreOptIn:
+    def test_default_lint_skips_perf_rules(self, tmp_path):
+        hot = tmp_path / "hot.py"
+        hot.write_text(HOT_PREFIX + (
+            "        while True:\n"
+            "            self.step()\n"
+        ))
+        assert lint_main([str(hot)]) == 0
+        assert perf_audit_main([str(hot)]) == 1
+
+    def test_select_reaches_perf_rules_from_lint(self, tmp_path):
+        hot = tmp_path / "hot.py"
+        hot.write_text(HOT_PREFIX + (
+            "        while True:\n"
+            "            self.step()\n"
+        ))
+        assert lint_main(["--select", "R18", str(hot)]) == 1
+
+    def test_lint_explain_still_lists_perf_rules(self, capsys):
+        assert lint_main(["--explain"]) == 0
+        out = capsys.readouterr().out
+        for code in PERF_RULES:
+            assert code in out
+
+
+class TestPerfAuditCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert perf_audit_main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violating_file_exits_one(self, capsys):
+        assert perf_audit_main([str(FIXTURES / "r18_fail.py")]) == 1
+        assert "R18" in capsys.readouterr().out
+
+    def test_runs_only_perf_rules(self, tmp_path):
+        # A file violating syntactic rule R1 is out of perf-audit scope.
+        (tmp_path / "r1.py").write_text(
+            "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        assert perf_audit_main([str(tmp_path)]) == 0
+        assert lint_main([str(tmp_path)]) == 1
+
+    def test_explain_lists_exactly_the_perf_rules(self, capsys):
+        assert perf_audit_main(["--explain"]) == 0
+        out = capsys.readouterr().out
+        for code in PERF_RULES:
+            assert code in out
+        assert "R1 " not in out and "R10 " not in out
+
+    def test_non_perf_rule_code_is_usage_error(self, tmp_path):
+        assert perf_audit_main(["--select", "R1", str(tmp_path)]) == 2
+
+    def test_json_format(self, capsys):
+        assert perf_audit_main(
+            ["--format", "json", str(FIXTURES / "r16_fail.py")]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+        assert {v["rule"] for v in payload["violations"]} == {"R16"}
+
+    def test_hot_roots_option_extends_scope(self, tmp_path):
+        target = tmp_path / "walker.py"
+        target.write_text(
+            "class Walker:\n"
+            "    def crawl(self):\n"
+            "        while True:\n"
+            "            self.step()\n"
+        )
+        assert perf_audit_main([str(target)]) == 0
+        assert perf_audit_main(
+            ["--hot-roots", "Walker.crawl", str(target)]
+        ) == 1
+        # The module-level root set is restored afterwards.
+        assert perf_flow.hot_root_specs() == perf_flow.DEFAULT_HOT_ROOTS
+
+    def test_empty_hot_roots_is_usage_error(self, tmp_path, capsys):
+        assert perf_audit_main(
+            ["--hot-roots", " , ", str(tmp_path)]
+        ) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_dispatch_through_repro_experiments(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert cli_main(["perf-audit", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_shipped_dynamic_and_service_trees_are_clean(self):
+        # The acceptance gate: the hot paths the repo ships audit clean
+        # (true positives fixed or pragma'd with their bound).
+        repo_root = Path(__file__).resolve().parents[2]
+        assert perf_audit_main([
+            str(repo_root / "src" / "repro" / "dynamic"),
+            str(repo_root / "src" / "repro" / "service"),
+        ]) == 0
+
+
+class TestHotspotReport:
+    def test_report_writes_ranked_hotspots(self, tmp_path, capsys):
+        report = tmp_path / "hotspots.json"
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert perf_audit_main([
+            "--report", str(report), "--report-steps", "40",
+            str(tmp_path / "ok.py"),
+        ]) == 0
+        assert "hotspot report" in capsys.readouterr().out
+        payload = json.loads(report.read_text())
+        assert payload["format"] == "repro-hotspots-v1"
+        assert payload["updates"] == 40
+        assert payload["total_ops"] > 0
+        assert payload["per_update"]["max_ops"] > 0
+        assert payload["per_update"]["max_observed_constant"] < 4.0
+        sites = {row["site"] for row in payload["hotspots"]}
+        assert any(site.startswith("incremental_rebuild.")
+                   for site in sites)
+        assert any(site.startswith("DynamicGraph.") for site in sites)
+        counts = [row["count"] for row in payload["hotspots"]]
+        assert counts == sorted(counts, reverse=True)
+        assert all(row["count"] > 0 for row in payload["hotspots"])
+
+    def test_report_is_deterministic(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for report in (first, second):
+            assert perf_audit_main([
+                "--report", str(report), "--report-steps", "25",
+                "--report-seed", "7", str(tmp_path / "ok.py"),
+            ]) == 0
+        assert first.read_text() == second.read_text()
+
+    def test_report_lands_even_when_lint_fails(self, tmp_path):
+        report = tmp_path / "hotspots.json"
+        assert perf_audit_main([
+            "--report", str(report), "--report-steps", "10",
+            str(FIXTURES / "r18_fail.py"),
+        ]) == 1
+        assert report.exists()
+
+    def test_bad_report_steps_is_usage_error(self, tmp_path):
+        assert perf_audit_main(
+            ["--report", str(tmp_path / "h.json"), "--report-steps", "0"]
+        ) == 2
+
+
+class TestBaseline:
+    """Satellite: the shared --baseline / --write-baseline ratchet."""
+
+    def _violating_tree(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(HOT_PREFIX + (
+            "        while True:\n"
+            "            self.step()\n"
+        ))
+        return bad
+
+    def test_write_then_suppress_round_trip(self, tmp_path, capsys):
+        bad = self._violating_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert perf_audit_main(
+            ["--write-baseline", str(baseline), str(bad)]
+        ) == 0
+        assert "1 finding" in capsys.readouterr().out
+        assert perf_audit_main(
+            ["--baseline", str(baseline), str(bad)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "suppressed 1 known finding" in captured.err
+
+    def test_new_finding_still_fails_under_baseline(self, tmp_path):
+        bad = self._violating_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert perf_audit_main(
+            ["--write-baseline", str(baseline), str(bad)]
+        ) == 0
+        # A finding in a *new function* has a new message key; a second
+        # loop in the same function would share the (path, rule,
+        # message) identity and stay suppressed by design.
+        bad.write_text(
+            "class DynamicSparsifier:\n"
+            "    def update(self, op, u, v):\n"
+            "        self._chase()\n"
+            "        while True:\n"
+            "            self.step()\n"
+            "    def _chase(self):\n"
+            "        while True:\n"
+            "            self.step()\n"
+        )
+        assert perf_audit_main(
+            ["--baseline", str(baseline), str(bad)]
+        ) == 1
+
+    def test_baseline_survives_line_shifts(self, tmp_path):
+        bad = self._violating_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert perf_audit_main(
+            ["--write-baseline", str(baseline), str(bad)]
+        ) == 0
+        bad.write_text("# a comment pushing everything down\n"
+                       + bad.read_text())
+        assert perf_audit_main(
+            ["--baseline", str(baseline), str(bad)]
+        ) == 0
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        bad = self._violating_tree(tmp_path)
+        assert perf_audit_main(
+            ["--baseline", str(tmp_path / "nope.json"), str(bad)]
+        ) == 2
+
+    def test_non_baseline_file_is_usage_error(self, tmp_path, capsys):
+        bad = self._violating_tree(tmp_path)
+        rogue = tmp_path / "rogue.json"
+        rogue.write_text("{\"findings\": []}\n")
+        assert perf_audit_main(
+            ["--baseline", str(rogue), str(bad)]
+        ) == 2
+        assert "format" in capsys.readouterr().err
+
+    def test_write_baseline_is_byte_stable(self, tmp_path):
+        bad = self._violating_tree(tmp_path)
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for baseline in (first, second):
+            assert perf_audit_main(
+                ["--write-baseline", str(baseline), str(bad)]
+            ) == 0
+        assert first.read_text() == second.read_text()
+
+    @pytest.mark.parametrize("entry_args", [
+        ["lint"], ["rng-audit"], ["race-audit"], ["perf-audit"],
+    ])
+    def test_every_audit_cli_accepts_baseline_options(
+        self, entry_args, tmp_path, capsys
+    ):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        assert cli_main(
+            entry_args + ["--write-baseline", str(baseline), str(tmp_path)]
+        ) == 0
+        assert cli_main(
+            entry_args + ["--baseline", str(baseline), str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+
+
+class TestDedupOverlappingTargets:
+    """Satellite: overlapping path arguments do not double-report."""
+
+    def test_nested_directory_overlap_reports_once(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        assert lint_main(["--format", "json", str(tmp_path), str(pkg)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+
+    def test_relative_and_absolute_spellings_dedupe(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["--format", "json", "bad.py", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+
+    def test_discover_files_keeps_first_spelling(self, tmp_path):
+        from repro.lint import discover_files
+
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        found = discover_files([tmp_path, tmp_path])
+        assert len(found) == 1

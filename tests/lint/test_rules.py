@@ -107,12 +107,16 @@ def test_rule_registry_is_complete():
     assert sorted(RULES, key=lambda c: int(c[1:])) == [
         "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
         "R10", "R11", "R12", "R13", "R14",
+        "R15", "R16", "R17", "R18", "R19",
     ]
     for code, rule in RULES.items():
         assert rule.code == code
         assert rule.summary
-        assert not (rule.flow and rule.concurrency)
+        assert sum((rule.flow, rule.concurrency, rule.perf)) <= 1
     assert [c for c, r in RULES.items() if r.flow] == ["R6", "R7", "R8", "R9"]
     assert [c for c, r in RULES.items() if r.concurrency] == [
         "R10", "R11", "R12", "R13", "R14",
+    ]
+    assert [c for c, r in RULES.items() if r.perf] == [
+        "R15", "R16", "R17", "R18", "R19",
     ]

@@ -177,6 +177,14 @@ class TestCli:
 
 @pytest.mark.fast
 def test_repository_tree_is_clean():
-    """The enforced gate: src and tests lint clean (fixtures excepted)."""
+    """The enforced gate: src and tests lint clean (fixtures excepted).
+
+    Mirrors the default ``lint`` CLI: the correctness rules R1-R14.
+    The perf rules R15-R19 are opt-in advisories gated separately —
+    ``perf-audit`` over the hot trees must be clean
+    (``tests/lint/test_perf_flow.py``), while known findings elsewhere
+    ratchet down via ``results/perf_baseline.json``.
+    """
     repo_root = Path(__file__).resolve().parents[2]
-    assert lint_paths([repo_root / "src", repo_root / "tests"]) == []
+    rules = [rule for rule in RULES.values() if not rule.perf]
+    assert lint_paths([repo_root / "src", repo_root / "tests"], rules) == []

@@ -7,6 +7,7 @@ from repro.service.metrics import (
     LatencyRecorder,
     ServiceMetrics,
     percentile,
+    percentile_sorted,
 )
 
 pytestmark = pytest.mark.fast
@@ -35,6 +36,72 @@ class TestPercentile:
             percentile([1.0], 101.0)
         with pytest.raises(ValueError):
             percentile([1.0], -1.0)
+
+
+class TestPercentileEdgeCases:
+    """Nearest-rank behavior on degenerate windows (0/1/2 samples,
+    all-equal, tiny-window p99): the cases a latency dashboard hits in
+    its first seconds of life."""
+
+    @pytest.mark.parametrize("q", [0.0, 50.0, 95.0, 99.0, 100.0])
+    def test_empty_window_is_zero_for_every_q(self, q):
+        assert percentile([], q) == 0.0
+
+    @pytest.mark.parametrize("q", [0.0, 50.0, 99.0, 100.0])
+    def test_single_sample_dominates_every_q(self, q):
+        assert percentile([42.0], q) == 42.0
+
+    def test_two_samples_split_at_the_median(self):
+        # rank = ceil(q/100 * 2): q<=50 -> first sample, q>50 -> second.
+        assert percentile([1.0, 9.0], 50.0) == 1.0
+        assert percentile([1.0, 9.0], 51.0) == 9.0
+        assert percentile([1.0, 9.0], 95.0) == 9.0
+        assert percentile([1.0, 9.0], 99.0) == 9.0
+
+    def test_q_zero_is_the_minimum_not_an_index_error(self):
+        # ceil(0) = 0 would index rank-1 = -1; the rank floor of 1
+        # clamps q=0 to the smallest sample.
+        assert percentile([5.0, 1.0, 3.0], 0.0) == 1.0
+
+    def test_all_equal_samples_any_q(self):
+        samples = [2.5] * 7
+        for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile(samples, q) == 2.5
+
+    def test_p99_tiny_windows_pick_the_max(self):
+        # For n < 100, ceil(0.99 n) == n whenever 0.99 n > n - 1,
+        # i.e. n < 100 -> p99 is exactly the max of the window.
+        for n in (2, 3, 10, 99):
+            samples = [float(i) for i in range(1, n + 1)]
+            assert percentile(samples, 99.0) == float(n)
+
+    def test_p99_first_distinguishes_at_n_100(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 99.0) == 99.0
+
+    def test_percentile_sorted_matches_percentile(self):
+        samples = [9.0, 1.0, 5.0, 3.0, 7.0]
+        ordered = sorted(samples)
+        for q in (0.0, 25.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile_sorted(ordered, q) == percentile(samples, q)
+
+    def test_percentile_sorted_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile_sorted([1.0], 100.5)
+
+    def test_snapshot_of_empty_recorder_is_all_zero(self):
+        snap = LatencyRecorder().snapshot()
+        assert snap["count"] == 0
+        assert snap["p50_ms"] == snap["p95_ms"] == snap["p99_ms"] == 0.0
+        assert snap["max_ms"] == 0.0
+
+    def test_snapshot_two_sample_window(self):
+        recorder = LatencyRecorder(budget_ms=10.0)
+        recorder.record(0.001)  # 1 ms
+        recorder.record(0.009)  # 9 ms
+        snap = recorder.snapshot()
+        assert snap["p50_ms"] == 1.0
+        assert snap["p95_ms"] == snap["p99_ms"] == snap["max_ms"] == 9.0
 
 
 class TestLatencyRecorder:
