@@ -1,0 +1,229 @@
+"""Scaling benchmark for the sharded cluster: shards vs. updates/sec.
+
+For each shard count (1, 2, 4, 8 by default) this starts a full
+cluster — real worker processes behind a
+:class:`~repro.cluster.runner.BackgroundCluster` router — and drives it
+with several concurrent load-generator *processes*, each running the
+deterministic multi-session loadgen over its own slice of the session
+space (disjoint ``--session-offset`` ranges).  The report is the
+scaling curve ``shards -> updates/sec`` plus, per configuration, the
+shard-aware replay verification.
+
+Three gates:
+
+* **replay identity** — after every configuration, each shard's
+  journals replay byte-identically (``verify_cluster``: double replay
+  + placement consistency).  Always enforced; CPU-independent.
+* **placement determinism** — a session's final fingerprint must be
+  identical at every shard count (placement moves sessions between
+  shards, but never changes their update streams).  Always enforced.
+* **scaling** — 4 shards must reach at least 2x single-shard
+  throughput.  Enforced only when the host has >= 4 CPUs (the honest
+  precedent of ``bench_engine.py``: on fewer cores the curve is
+  recorded but cannot show parallel speedup).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py \
+        --output results/bench_cluster.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cluster.replay import verify_cluster
+from repro.cluster.runner import BackgroundCluster
+from repro.cluster.supervisor import _worker_env
+from repro.instrument.timers import Timer
+
+#: The scaling gate: updates/sec at 4 shards vs. 1 shard.
+REQUIRED_SPEEDUP_AT_4 = 2.0
+
+#: Cores needed before the scaling gate is meaningful (and enforced).
+MIN_CPUS_FOR_GATE = 4
+
+
+def _spawn_loadgen(host: str, port: int, sessions: int, offset: int,
+                   steps: int, batch: int, seed: int,
+                   out_path: Path) -> subprocess.Popen:
+    """One load-generator process over its own session-space slice."""
+    command = [
+        sys.executable, "-m", "repro.service.loadgen",
+        "--host", host, "--port", str(port),
+        "--session", "bench",
+        "--sessions", str(sessions),
+        "--session-offset", str(offset),
+        "--steps", str(steps),
+        "--batch", str(batch),
+        "--seed", str(seed),
+        "--out", str(out_path),
+    ]
+    return subprocess.Popen(command, env=_worker_env())
+
+
+def run_config(shards: int, clients: int, sessions_per_client: int,
+               steps: int, batch: int, seed: int,
+               journal_root: Path) -> dict:
+    """Benchmark one shard count; returns its JSON-ready row.
+
+    ``clients`` loadgen processes run concurrently, client ``k``
+    driving sessions ``bench-[k*M, (k+1)*M)``; throughput is total
+    applied updates over the wall-clock of the whole burst.  The
+    cluster's journals land under ``journal_root`` and are verified by
+    replay after the cluster has drained and stopped.
+    """
+    journal_root.mkdir(parents=True, exist_ok=True)
+    report_dir = Path(tempfile.mkdtemp(prefix="bench-cluster-"))
+    with BackgroundCluster(shards=shards, journal_dir=journal_root) as cluster:
+        procs = []
+        with Timer() as timer:
+            for k in range(clients):
+                procs.append(_spawn_loadgen(
+                    cluster.host or "127.0.0.1", int(cluster.port or 0),
+                    sessions_per_client, k * sessions_per_client,
+                    steps, batch, seed, report_dir / f"client-{k}.json",
+                ))
+            failures = [k for k, proc in enumerate(procs)
+                        if proc.wait(timeout=600) != 0]
+        if failures:
+            raise RuntimeError(f"loadgen client(s) {failures} failed "
+                               f"at {shards} shard(s)")
+    assert cluster.worker_exit_codes is not None
+    assert all(code == 0 for code in cluster.worker_exit_codes), (
+        f"shard worker exit codes {cluster.worker_exit_codes} at "
+        f"{shards} shard(s): graceful SIGTERM drain failed"
+    )
+
+    reports = [json.loads((report_dir / f"client-{k}.json").read_text())
+               for k in range(clients)]
+    applied = sum(report["applied"] for report in reports)
+    elapsed = timer.elapsed
+    fingerprints = {
+        entry["session"]: entry["fingerprint"]
+        for report in reports for entry in report["per_session"]
+    }
+
+    verification = verify_cluster(journal_root)
+    replayed = {
+        entry["session"]: entry["fingerprint"]
+        for shard_reports in verification["per_shard"].values()
+        for entry in shard_reports
+    }
+    mismatched = sorted(
+        name for name, fingerprint in fingerprints.items()
+        if replayed.get(name) != fingerprint
+    )
+    assert not mismatched, (
+        f"replayed fingerprints diverged from served state at "
+        f"{shards} shard(s): {mismatched}"
+    )
+    return {
+        "shards": shards,
+        "clients": clients,
+        "sessions": clients * sessions_per_client,
+        "steps_per_session": steps,
+        "applied": applied,
+        "elapsed_seconds": round(elapsed, 4),
+        "updates_per_second": round(applied / elapsed, 1) if elapsed else None,
+        "worker_exit_codes": cluster.worker_exit_codes,
+        "replay": {
+            "sessions": verification["sessions"],
+            "updates": verification["updates"],
+            "per_shard_sessions": [
+                len(verification["per_shard"][shard])
+                for shard in sorted(verification["per_shard"])
+            ],
+            "identical": True,
+        },
+        "fingerprints": dict(sorted(fingerprints.items())),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", default="1,2,4,8",
+                        help="comma-separated shard counts (default 1,2,4,8)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent loadgen processes (default 4)")
+    parser.add_argument("--sessions-per-client", type=int, default=2,
+                        help="sessions each client drives (default 2)")
+    parser.add_argument("--steps", type=int, default=300,
+                        help="updates per session (default 300)")
+    parser.add_argument("--batch", type=int, default=16,
+                        help="loadgen batch op size (default 16)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root loadgen seed (default 0)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    shard_counts = [int(part) for part in args.shards.split(",") if part]
+    cpu_count = os.cpu_count() or 1
+    rows = []
+    with tempfile.TemporaryDirectory() as root:
+        for shards in shard_counts:
+            rows.append(run_config(
+                shards, args.clients, args.sessions_per_client,
+                args.steps, args.batch, args.seed,
+                Path(root) / f"shards-{shards}",
+            ))
+
+    # Placement determinism: shard count must not change any session's
+    # final state — only where its journal lives.
+    reference = rows[0]["fingerprints"]
+    for row in rows[1:]:
+        assert row["fingerprints"] == reference, (
+            f"fingerprints changed between {rows[0]['shards']} and "
+            f"{row['shards']} shard(s): sharding altered session state"
+        )
+
+    by_shards = {row["shards"]: row["updates_per_second"] for row in rows}
+    speedup_at_4 = (round(by_shards[4] / by_shards[1], 2)
+                    if 1 in by_shards and 4 in by_shards and by_shards[1]
+                    else None)
+    gate_enforced = speedup_at_4 is not None and cpu_count >= MIN_CPUS_FOR_GATE
+    if gate_enforced:
+        assert speedup_at_4 >= REQUIRED_SPEEDUP_AT_4, (
+            f"4-shard speedup {speedup_at_4}x below the required "
+            f"{REQUIRED_SPEEDUP_AT_4}x on a {cpu_count}-CPU host"
+        )
+
+    report = {
+        "benchmark": "sharded cluster scaling (shards vs updates/sec)",
+        "python": platform.python_version(),
+        "cpu_count": cpu_count,
+        "seed": args.seed,
+        "configs": rows,
+        "scaling": {
+            "curve": {str(shards): by_shards[shards]
+                      for shards in sorted(by_shards)},
+            "speedup_at_4_shards": speedup_at_4,
+            "required_speedup": REQUIRED_SPEEDUP_AT_4,
+            "gate_enforced": gate_enforced,
+            "gate_note": (
+                "scaling gate enforced" if gate_enforced else
+                f"recorded only: needs >= {MIN_CPUS_FOR_GATE} CPUs "
+                f"(host has {cpu_count}) and both 1- and 4-shard runs"
+            ),
+            "replay_identity_enforced": True,
+            "placement_determinism_enforced": True,
+        },
+    }
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ import re
 from pathlib import Path
 
 #: Last-resort version, asserted against pyproject.toml by the tests.
-FALLBACK = "1.7.0"
+FALLBACK = "1.8.0"
 
 
 def _pyproject_version() -> str | None:

@@ -12,12 +12,17 @@ Usage::
     repro-experiments race-audit src/repro/service  # async audit (R10-R14)
     repro-experiments perf-audit src/repro          # perf audit (R15-R19)
     repro-experiments serve --port 8765 --journal-dir journals
+    repro-experiments serve --port 8765 --shards 4 --journal-dir journals
     repro-experiments replay journals/mysession.jsonl --json
+    repro-experiments replay journals --shard 2 --verify   # cluster root
+    repro-experiments stats --port 8765 --json
 
 Parallelism is deterministic: for a fixed ``--seed``, tables are
 identical at any ``--workers`` value (per-trial RNGs are spawned from
 the root seed before dispatch — see ``docs/ENGINE.md``).  ``serve`` /
-``replay`` front the dynamic-matching service (``docs/SERVICE.md``).
+``replay`` / ``stats`` front the dynamic-matching service
+(``docs/SERVICE.md``); ``serve --shards N`` runs it as a sharded
+multi-process cluster behind one router port.
 """
 
 from __future__ import annotations
@@ -56,9 +61,32 @@ def _serve_main(argv: list[str]) -> int:
                         help="per-connection pipelining bound; beyond it "
                              "the socket is not read until responses "
                              "drain (default 256)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run a sharded cluster: spawn N worker "
+                             "processes and route sessions to them by "
+                             "rendezvous hash (journals land in "
+                             "<journal-dir>/shard-K/); default is the "
+                             "single-process server")
+    parser.add_argument("--window", type=int, default=64,
+                        help="router->shard in-flight window per shard "
+                             "(cluster mode only, default 64)")
     args = parser.parse_args(argv)
 
     from repro.service.metrics import DEFAULT_BUDGET_MS
+
+    if args.shards is not None:
+        from repro.cluster.runner import run_cluster
+
+        return run_cluster(
+            host=args.host, port=args.port, shards=args.shards,
+            journal_dir=args.journal_dir,
+            max_batch=args.max_batch, max_queue=args.max_queue,
+            budget_ms=args.budget_ms,
+            allow_shutdown=args.allow_shutdown,
+            max_inflight=args.max_inflight,
+            window=args.window,
+        )
+
     from repro.service.server import run_server
 
     return run_server(
@@ -71,22 +99,96 @@ def _serve_main(argv: list[str]) -> int:
     )
 
 
+def _replay_cluster_main(args) -> int:
+    """Cluster-root replay: one shard (``--shard K``) or every shard."""
+    import json as json_module
+
+    from repro.cluster.replay import (
+        ClusterReplayError,
+        discover_shards,
+        replay_shard,
+        verify_cluster,
+        verify_shard,
+    )
+    from repro.contracts import ContractViolation
+    from repro.service.journal import JournalError
+
+    try:
+        if args.shard is not None:
+            shards = discover_shards(args.journal)
+            if args.shard not in shards:
+                print(f"replay failed: no shard-{args.shard} under "
+                      f"{args.journal}", file=sys.stderr)
+                return 1
+            runner = verify_shard if args.verify else replay_shard
+            reports = runner(shards[args.shard], upto=args.upto)
+            payload = {
+                "shard": args.shard,
+                "shards": len(shards),
+                "sessions": reports,
+            }
+        else:
+            payload = verify_cluster(args.journal, upto=args.upto)
+            payload["per_shard"] = {
+                str(shard): reports
+                for shard, reports in payload["per_shard"].items()
+            }
+    except (JournalError, ContractViolation, ClusterReplayError) as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_module.dumps(payload, indent=2))
+    elif args.shard is not None:
+        print(f"shard {args.shard}/{payload['shards']}: "
+              f"{len(payload['sessions'])} session(s)"
+              + (" [verified]" if args.verify else ""))
+        for report in payload["sessions"]:
+            print(f"  {report['session']!r}: {report['seq']} updates -> "
+                  f"size {report['size']}, fingerprint "
+                  f"{report['fingerprint']}")
+    else:
+        print(f"cluster {args.journal}: {payload['shards']} shard(s), "
+              f"{payload['sessions']} session(s), {payload['updates']} "
+              f"update(s) [verified: byte-identical replay + placement]")
+    return 0
+
+
 def _replay_main(argv: list[str]) -> int:
-    """The ``replay`` subcommand: rebuild a session from its journal."""
+    """The ``replay`` subcommand: rebuild sessions from journals.
+
+    Accepts either a single ``<session>.jsonl`` journal or a cluster
+    journal root (the directory holding ``shard-K/`` subdirectories).
+    """
     parser = argparse.ArgumentParser(
         prog="repro-experiments replay",
-        description="Deterministically replay a session journal offline "
-                    "and report the resulting matching.",
+        description="Deterministically replay session journals offline "
+                    "and report the resulting matchings.  JOURNAL is a "
+                    "<session>.jsonl file or a cluster journal root "
+                    "containing shard-K/ directories.",
     )
-    parser.add_argument("journal", help="path to a <session>.jsonl journal")
+    parser.add_argument("journal", help="path to a <session>.jsonl journal "
+                                        "or a cluster journal root")
     parser.add_argument("--upto", type=int, default=None,
                         help="replay only the first N updates")
+    parser.add_argument("--shard", type=int, default=None, metavar="K",
+                        help="cluster roots only: replay just shard K")
     parser.add_argument("--json", action="store_true",
                         help="emit a JSON report instead of a summary")
     parser.add_argument("--verify", action="store_true",
-                        help="replay twice and assert byte-identity "
+                        help="replay twice and assert byte-identity; for "
+                             "a cluster root without --shard this is "
+                             "implied and adds the placement check "
                              "(exit 1 on divergence)")
     args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    if Path(args.journal).is_dir():
+        return _replay_cluster_main(args)
+    if args.shard is not None:
+        print("replay failed: --shard requires a cluster journal root, "
+              f"got file {args.journal}", file=sys.stderr)
+        return 1
 
     import json as json_module
 
@@ -117,6 +219,54 @@ def _replay_main(argv: list[str]) -> int:
               f"{payload['seq']} updates -> matching of size "
               f"{payload['size']}, fingerprint {payload['fingerprint']}"
               + (" [verified]" if args.verify else ""))
+    return 0
+
+
+def _stats_main(argv: list[str]) -> int:
+    """The ``stats`` subcommand: cluster-wide metrics from a live server.
+
+    Works against both a cluster router (which merges shard stats) and
+    a single-process server (which answers as a one-shard cluster).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments stats",
+        description="Fetch cluster-wide statistics (summed counters, "
+                    "exact merged latency percentiles) from a running "
+                    "server or cluster router.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw JSON payload")
+    args = parser.parse_args(argv)
+
+    import json as json_module
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        client = ServiceClient(args.host, args.port)
+        try:
+            stats = client.cluster_stats()
+        finally:
+            client.close()
+    except (OSError, ServiceError) as exc:
+        print(f"stats failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_module.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    latency = stats["latency"]
+    print(f"shards: {stats['shards']}  sessions: {len(stats['sessions'])} "
+          f"{stats.get('per_shard_sessions', [])}")
+    print("counters: " + (", ".join(
+        f"{name}={value}" for name, value in sorted(stats["counters"].items())
+    ) or "(none)"))
+    print(f"latency: n={latency['count']} p50={latency['p50_ms']}ms "
+          f"p95={latency['p95_ms']}ms p99={latency['p99_ms']}ms "
+          f"max={latency['max_ms']}ms over_budget={latency['over_budget']}")
+    print(f"queue: depth={stats['queue']['depth']} "
+          f"max_depth={stats['queue']['max_depth']}")
     return 0
 
 
@@ -162,6 +312,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "replay":
         return _replay_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return _stats_main(argv[1:])
     ids = _experiment_ids()
     id_range = f"{ids[0]}..{ids[-1]}"
     parser = argparse.ArgumentParser(
@@ -176,7 +328,7 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         help=f"experiment id ({id_range}), 'all', or the 'lint' / "
              "'rng-audit' / 'race-audit' / 'perf-audit' / 'serve' / "
-             "'replay' subcommands",
+             "'replay' / 'stats' subcommands",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"

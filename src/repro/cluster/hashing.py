@@ -1,0 +1,70 @@
+"""Consistent session placement: rendezvous (highest-random-weight) hashing.
+
+The router must map every session name onto one of ``num_shards``
+workers such that
+
+* the mapping is a **pure function** of ``(name, num_shards)`` — any
+  router restart, replica, or offline tool (shard-aware replay, the
+  placement check in :mod:`repro.cluster.replay`) computes the same
+  placement with no shared state;
+* it is **stable under resizing**: going from ``K`` to ``K+1`` shards
+  moves only the ~``1/(K+1)`` fraction of sessions whose new shard wins
+  the rendezvous — sessions never shuffle among surviving shards (the
+  classic HRW property, vs. ``hash(name) % K`` which moves almost
+  everything).
+
+Scores are the first 8 bytes of ``sha256(name "|" shard)`` — a keyed
+deterministic hash, *not* Python's salted ``hash()`` (which varies per
+process and would silently break cross-process agreement).
+"""
+
+from __future__ import annotations
+
+from hashlib import sha256
+
+#: Bytes of the sha256 digest used as the rendezvous score (64 bits is
+#: far beyond any realistic tie probability).
+_SCORE_BYTES = 8
+
+
+def rendezvous_score(session: str, shard: int) -> int:
+    """The deterministic 64-bit HRW score of ``session`` on ``shard``."""
+    digest = sha256(f"{session}|{shard}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:_SCORE_BYTES], "big")
+
+
+def place(session: str, num_shards: int) -> int:
+    """The shard index ``session`` lives on in a ``num_shards`` cluster.
+
+    The highest-scoring shard wins; a (cryptographically improbable)
+    score tie breaks toward the lower shard index so the function stays
+    total and deterministic.
+
+    Raises
+    ------
+    ValueError
+        If ``num_shards`` is not positive.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards == 1:
+        return 0
+    best_shard = 0
+    best_score = rendezvous_score(session, 0)
+    for shard in range(1, num_shards):
+        score = rendezvous_score(session, shard)
+        if score > best_score:
+            best_shard, best_score = shard, score
+    return best_shard
+
+
+def placement_map(sessions: list[str], num_shards: int) -> dict[int, list[str]]:
+    """Group ``sessions`` by their placed shard (all shards present).
+
+    Convenience for tests, the scaling bench, and capacity summaries;
+    every shard index appears as a key even when empty.
+    """
+    groups: dict[int, list[str]] = {k: [] for k in range(num_shards)}
+    for session in sessions:
+        groups[place(session, num_shards)].append(session)
+    return groups

@@ -1,0 +1,112 @@
+"""Cross-shard metrics aggregation: counter sums and exact percentiles.
+
+Counters are monotone event totals, so summing them across shards is
+lossless (the same argument as the engine's cross-process counter
+merge).  Latency percentiles are **not** summable — averaging per-shard
+p99s under-reports any skewed tail — so shards export their raw sample
+lists *sorted ascending* (``shard_stats``) and this module k-way merges
+the sorted lists (:func:`merge_sorted_samples`) before taking
+nearest-rank percentiles over the union, which is exactly the number a
+single server holding every sample would report.
+"""
+
+from __future__ import annotations
+
+from heapq import merge as _heapq_merge
+from typing import Iterable, Mapping, Sequence
+
+from repro.service.metrics import percentile_sorted
+
+
+def merge_counters(per_shard: Iterable[Mapping[str, int]]) -> dict[str, int]:
+    """Sum per-shard counter snapshots into one cluster-wide snapshot.
+
+    Missing keys count as zero, so shards that never touched a counter
+    (an empty shard, a shard with no rejected updates) merge cleanly.
+    """
+    totals: dict[str, int] = {}
+    for counters in per_shard:
+        for name in sorted(counters):
+            totals[name] = totals.get(name, 0) + int(counters[name])
+    return totals
+
+
+def merge_sorted_samples(
+    per_shard: Sequence[Sequence[float]],
+) -> list[float]:
+    """Union per-shard *sorted* sample lists into one sorted list.
+
+    A k-way heap merge (O(N log k)) — cheaper than re-sorting the
+    concatenation and, more importantly, the statement of intent: the
+    cluster percentile is taken over the union of samples, never over
+    per-shard percentiles.
+    """
+    return list(_heapq_merge(*per_shard))
+
+
+def merge_latency(
+    per_shard: Sequence[Mapping[str, object]],
+) -> dict:
+    """Merge per-shard ``shard_stats`` latency payloads exactly.
+
+    Each element carries ``samples_sorted_ms`` (sorted ascending),
+    ``over_budget``, and ``budget_ms``.  The merged summary reports
+    nearest-rank p50/p95/p99/max over the sample union, the summed
+    ``over_budget`` count, and the *tightest* (minimum) budget — the
+    conservative SLO when shards were configured differently.  With no
+    samples anywhere (an idle or empty cluster) the percentiles are 0.
+    """
+    merged = merge_sorted_samples(
+        [list(shard.get("samples_sorted_ms", ())) for shard in per_shard]
+    )
+    budgets = [float(shard["budget_ms"])
+               for shard in per_shard if "budget_ms" in shard]
+    if merged:
+        p50 = percentile_sorted(merged, 50.0)
+        p95 = percentile_sorted(merged, 95.0)
+        p99 = percentile_sorted(merged, 99.0)
+        peak = merged[-1]
+    else:
+        p50 = p95 = p99 = peak = 0.0
+    return {
+        "count": len(merged),
+        "p50_ms": round(p50, 4),
+        "p95_ms": round(p95, 4),
+        "p99_ms": round(p99, 4),
+        "max_ms": round(peak, 4),
+        "budget_ms": min(budgets) if budgets else 0.0,
+        "over_budget": sum(int(shard.get("over_budget", 0))
+                           for shard in per_shard),
+    }
+
+
+def aggregate_cluster_stats(per_shard: Sequence[Mapping]) -> dict:
+    """Fold per-shard ``shard_stats`` payloads into the cluster view.
+
+    ``per_shard[k]`` is shard ``k``'s ``shard_stats`` response payload.
+    The result is what the ``cluster_stats`` op returns: shard count,
+    total/ per-shard session placement, summed counters, union-merged
+    latency percentiles, and summed queue gauges.  Works for zero
+    shards (an unstarted cluster) and for shards with no sessions.
+    """
+    session_lists = [list(shard.get("sessions", ())) for shard in per_shard]
+    return {
+        "shards": len(per_shard),
+        "sessions": sorted(name for names in session_lists for name in names),
+        "per_shard_sessions": [len(names) for names in session_lists],
+        "counters": merge_counters(
+            [shard.get("counters", {}) for shard in per_shard]
+        ),
+        "latency": merge_latency(
+            [shard.get("latency", {}) for shard in per_shard]
+        ),
+        "queue": {
+            "depth": sum(int(shard.get("queue", {}).get("depth", 0))
+                         for shard in per_shard),
+            "max_depth": max(
+                [int(shard.get("queue", {}).get("max_depth", 0))
+                 for shard in per_shard],
+                default=0,
+            ),
+        },
+    }

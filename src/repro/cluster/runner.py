@@ -1,0 +1,193 @@
+"""Running a whole cluster: blocking CLI entry and in-thread harness.
+
+:func:`run_cluster` is what ``repro-experiments serve --shards N``
+calls: spawn the shard workers (:class:`ClusterSupervisor`), run the
+:class:`ClusterRouter` in the foreground until SIGTERM/SIGINT or a
+client ``shutdown``, then stop the workers gracefully and report a
+composite exit code.  :class:`BackgroundCluster` is the tests' and
+benchmarks' counterpart of :class:`~repro.service.server.BackgroundServer`:
+real worker *processes*, but the router on a daemon thread and the
+whole thing a context manager.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import threading
+from pathlib import Path
+
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.service.server import _run_service_loop
+
+#: How often the foreground supervisor polls for dead workers (seconds).
+_WATCH_INTERVAL = 1.0
+
+
+async def _watch_workers(supervisor: ClusterSupervisor,
+                         router: ClusterRouter) -> None:
+    """Shut the router down if any shard worker process dies."""
+    while True:
+        await asyncio.sleep(_WATCH_INTERVAL)
+        dead = supervisor.dead_shards()
+        if dead:
+            print(
+                "shard worker(s) died unexpectedly: "
+                + ", ".join(str(shard) for shard in dead),
+                file=sys.stderr,
+            )
+            router.request_shutdown()
+            return
+
+
+def run_cluster(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    shards: int = 2,
+    journal_dir: str | Path | None = None,
+    max_batch: int = 32,
+    max_queue: int = 1024,
+    budget_ms: float | None = None,
+    allow_shutdown: bool = False,
+    max_inflight: int = 256,
+    window: int = 64,
+) -> int:
+    """Blocking entry point for ``repro-experiments serve --shards N``.
+
+    Spawns ``shards`` worker processes (journaling under
+    ``<journal_dir>/shard-K/``), routes client traffic to them until a
+    shutdown (signal or, when ``allow_shutdown``, the protocol op), then
+    SIGTERMs the workers and waits for their graceful exits.  Returns 0
+    only when every worker exited 0 and none died mid-run.
+    """
+    import signal as _signal
+
+    supervisor = ClusterSupervisor(
+        shards=shards,
+        journal_dir=journal_dir,
+        host="127.0.0.1",
+        max_batch=max_batch,
+        max_queue=max_queue,
+        budget_ms=budget_ms,
+        max_inflight=max_inflight,
+    )
+    supervisor.start()
+    worker_died = False
+
+    router = ClusterRouter(
+        supervisor.addresses(),
+        window=window,
+        max_inflight=max_inflight,
+        allow_shutdown=allow_shutdown,
+    )
+
+    async def main() -> None:
+        nonlocal worker_died
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, router.request_shutdown)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass
+        watcher = loop.create_task(_watch_workers(supervisor, router))
+        try:
+            await router.serve_forever(host, port, announce=True)
+        finally:
+            if watcher.done() and not watcher.cancelled():
+                worker_died = True
+            watcher.cancel()
+            try:
+                await watcher
+            except asyncio.CancelledError:
+                pass
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
+    try:
+        try:
+            _run_service_loop(main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive use
+            print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        codes = supervisor.stop()
+    if worker_died or any(code != 0 for code in codes):
+        return 1
+    return 0
+
+
+class BackgroundCluster:
+    """A full cluster behind one ephemeral port (tests/benchmarks).
+
+    Real shard worker *processes* plus the router on a daemon thread::
+
+        with BackgroundCluster(shards=2, journal_dir=tmp) as cluster:
+            client = ServiceClient(cluster.host, cluster.port)
+            ...
+
+    Entry blocks until every worker announced, passed a ping
+    health-check, and the router is listening; exit shuts the router
+    down, then SIGTERMs the workers and records their
+    :attr:`worker_exit_codes` (graceful workers exit 0 with journals
+    flushed, so replay is valid immediately after the ``with`` block).
+    """
+
+    def __init__(self, shards: int = 2,
+                 journal_dir: str | Path | None = None,
+                 window: int = 64, **worker_config) -> None:
+        """Store the topology; nothing starts until ``__enter__``."""
+        self.supervisor = ClusterSupervisor(
+            shards=shards, journal_dir=journal_dir, **worker_config
+        )
+        self.window = window
+        self.router: ClusterRouter | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self.worker_exit_codes: list[int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+
+            def ready(host: str, port: int) -> None:
+                self.host, self.port = host, port
+                self._ready.set()
+
+            assert self.router is not None
+            await self.router.serve_forever(on_ready=ready)
+
+        _run_service_loop(main())
+
+    def __enter__(self) -> "BackgroundCluster":
+        """Start workers, then the router thread; block until listening."""
+        self.supervisor.start()
+        try:
+            self.router = ClusterRouter(
+                self.supervisor.addresses(),
+                window=self.window,
+                allow_shutdown=True,
+            )
+            self._thread.start()
+            if not self._ready.wait(timeout=30):  # pragma: no cover
+                raise RuntimeError("background cluster failed to start")
+        except Exception:
+            self.supervisor.stop()
+            raise
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """Stop the router, then the workers; record their exit codes."""
+        if self._loop is not None and self.router is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.router.request_shutdown)
+            except RuntimeError:
+                # Loop already closed: the router shut down on its own
+                # (client-issued shutdown or a dead worker) — fine.
+                pass
+        self._thread.join(timeout=30)
+        self.worker_exit_codes = self.supervisor.stop()

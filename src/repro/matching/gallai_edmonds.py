@@ -158,11 +158,12 @@ def gallai_edmonds_decomposition(graph: AdjacencyArrayGraph) -> GallaiEdmonds:
     for v in range(n):
         if mate[v] >= 0 and _saturable_without(graph, mate, v):
             in_d[v] = True
+    # A = N(D) \ D, computed as one boundary-edge mask over the CSR
+    # arrays: directed edges (src, dst) with src ∈ D, dst ∉ D.
     in_a = np.zeros(n, dtype=bool)
-    for v in np.flatnonzero(in_d):
-        for u in graph.neighbors_array(int(v)):
-            if not in_d[u]:
-                in_a[u] = True
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    dst = graph.indices
+    in_a[dst[in_d[src] & ~in_d[dst]]] = True
     in_c = ~(in_d | in_a)
     return GallaiEdmonds(
         d=tuple(int(v) for v in np.flatnonzero(in_d)),

@@ -19,8 +19,36 @@ from repro.matching.matching import Matching
 _INF = np.iinfo(np.int64).max
 
 
+def _frontier_neighbors(graph: AdjacencyArrayGraph,
+                        frontier: np.ndarray) -> np.ndarray:
+    """All CSR neighbors of the ``frontier`` vertices, concatenated.
+
+    The classic gather: positions = per-vertex slice starts repeated by
+    degree, plus a running offset — one fancy-index instead of a python
+    loop over ``neighbors_array``.
+    """
+    starts = graph.indptr[frontier]
+    counts = graph.indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    positions = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - offsets, counts
+    )
+    return graph.indices[positions]
+
+
 def bipartition(graph: AdjacencyArrayGraph) -> tuple[np.ndarray, np.ndarray]:
     """2-color ``graph``; returns (left_vertices, right_vertices).
+
+    Level-synchronous BFS over the CSR arrays: each step gathers the
+    whole frontier's neighbor lists in one shot, colors the uncolored
+    ones, and detects odd cycles as any neighbor already wearing the
+    frontier's own color (every edge is eventually scanned from both
+    endpoints, so a same-level edge is caught one step later).  The
+    python-level loops are one per component plus one per BFS level —
+    not one per vertex or edge.
 
     Isolated vertices are assigned to the left side.
 
@@ -31,20 +59,21 @@ def bipartition(graph: AdjacencyArrayGraph) -> tuple[np.ndarray, np.ndarray]:
     """
     n = graph.num_vertices
     color = np.full(n, -1, dtype=np.int8)
-    for root in range(n):
-        if color[root] != -1:
-            continue
+    uncolored = np.arange(n, dtype=np.int64)
+    while uncolored.size:
+        root = uncolored[0]
         color[root] = 0
-        queue = deque([root])
-        while queue:
-            v = queue.popleft()
-            for u in graph.neighbors_array(v):
-                u = int(u)
-                if color[u] == -1:
-                    color[u] = 1 - color[v]
-                    queue.append(u)
-                elif color[u] == color[v]:
-                    raise ValueError("graph is not bipartite (odd cycle found)")
+        frontier = uncolored[:1]
+        level = 0
+        while frontier.size:
+            neighbors = _frontier_neighbors(graph, frontier)
+            if np.any(color[neighbors] == level % 2):
+                raise ValueError("graph is not bipartite (odd cycle found)")
+            fresh = neighbors[color[neighbors] == -1]
+            frontier = np.unique(fresh)
+            level += 1
+            color[frontier] = level % 2
+        uncolored = uncolored[color[uncolored] == -1]
     return np.flatnonzero(color == 0), np.flatnonzero(color == 1)
 
 

@@ -210,6 +210,14 @@ class ServiceClient:
         """Names of live sessions on the server."""
         return self.call({"op": "sessions"})["sessions"]
 
+    def shard_stats(self) -> dict:
+        """Server-wide metrics rollup (mergeable sorted-sample form)."""
+        return self.call({"op": "shard_stats"})
+
+    def cluster_stats(self) -> dict:
+        """Cluster-wide aggregate (single server answers as one shard)."""
+        return self.call({"op": "cluster_stats"})
+
     def shutdown(self) -> dict:
         """Stop the server (requires ``allow_shutdown`` server-side)."""
         return self.call({"op": "shutdown"})

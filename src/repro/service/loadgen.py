@@ -18,6 +18,11 @@ Run directly for the CLI::
 
     python -m repro.service.loadgen --port 8765 --session burst \
         --adversary adaptive --steps 500 --seed 7 --out report.json
+
+``--sessions N`` (with ``--session-offset K``) drives N independent
+sessions — against a cluster router they spread over the shards — and
+reports the aggregate; disjoint offsets let concurrent loadgen
+processes partition the session space deterministically.
 """
 
 from __future__ import annotations
@@ -186,6 +191,63 @@ def run_load(
     }
 
 
+def run_multi_load(
+    client: ServiceClient,
+    sessions: int,
+    session_prefix: str = "loadgen",
+    session_offset: int = 0,
+    *,
+    seed: int = 0,
+    **load_kwargs,
+) -> dict:
+    """Drive ``sessions`` independent sessions and aggregate the reports.
+
+    Session ``i`` is named ``{prefix}-{offset+i}`` and seeded
+    ``seed + offset + i`` — a pure function of the arguments, so two
+    loadgen processes with disjoint offsets generate disjoint,
+    individually-reproducible traffic (the cluster bench's pattern:
+    one process per client, offsets partitioning the session space).
+    Against a cluster router the sessions spread over shards by
+    rendezvous placement; against a single server they all land there.
+    ``steps``, ``adversary``, and the other :func:`run_load` keywords
+    apply to every session.
+
+    Returns an aggregate report: summed applied/rejected/errors,
+    wall-clock elapsed, cluster-wide updates/sec, and per-session
+    summaries (name, seed, applied, size, fingerprint).
+    """
+    if sessions < 1:
+        raise ValueError(f"sessions must be >= 1, got {sessions}")
+    reports = []
+    with Timer() as timer:
+        for index in range(sessions):
+            name = f"{session_prefix}-{session_offset + index}"
+            reports.append(run_load(
+                client, name, seed=seed + session_offset + index,
+                **load_kwargs,
+            ))
+    elapsed = timer.elapsed
+    applied = sum(report["applied"] for report in reports)
+    return {
+        "sessions": sessions,
+        "session_prefix": session_prefix,
+        "session_offset": session_offset,
+        "seed": seed,
+        "applied": applied,
+        "errors": sum(report["errors"] for report in reports),
+        "rejected": sum(report["rejected"] for report in reports),
+        "elapsed_seconds": round(elapsed, 4),
+        "updates_per_second": (round(applied / elapsed, 1)
+                               if elapsed > 0 else None),
+        "per_session": [
+            {"session": report["session"], "seed": report["seed"],
+             "applied": report["applied"], "size": report["size"],
+             "fingerprint": report["fingerprint"]}
+            for report in reports
+        ],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI: drive one deterministic burst against a running server."""
     parser = argparse.ArgumentParser(
@@ -194,7 +256,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, required=True)
-    parser.add_argument("--session", default="loadgen")
+    parser.add_argument("--session", default="loadgen",
+                        help="session name (with --sessions N > 1, the "
+                             "prefix of '<session>-<k>' names)")
+    parser.add_argument("--sessions", type=int, default=1,
+                        help="drive N independent sessions and report "
+                             "the aggregate (default 1: the classic "
+                             "single-session report)")
+    parser.add_argument("--session-offset", type=int, default=0,
+                        help="first session index for --sessions mode; "
+                             "disjoint offsets let concurrent loadgen "
+                             "processes partition the session space")
     parser.add_argument("--adversary", choices=("oblivious", "adaptive"),
                         default="oblivious")
     parser.add_argument("--steps", type=int, default=500)
@@ -214,17 +286,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="ask the server to shut down afterwards")
     args = parser.parse_args(argv)
 
+    load_kwargs = dict(
+        adversary=args.adversary, steps=args.steps,
+        batch_size=args.batch, num_cliques=args.num_cliques,
+        clique_size=args.clique_size, beta=args.beta,
+        epsilon=args.epsilon, backend=args.backend,
+        budget_ms=args.budget_ms, close=args.close or args.shutdown,
+    )
     client = ServiceClient(args.host, args.port)
     try:
-        report = run_load(
-            client, args.session,
-            adversary=args.adversary, steps=args.steps,
-            batch_size=args.batch, num_cliques=args.num_cliques,
-            clique_size=args.clique_size, beta=args.beta,
-            epsilon=args.epsilon, backend=args.backend,
-            budget_ms=args.budget_ms, close=args.close or args.shutdown,
-            seed=args.seed,
-        )
+        if args.sessions > 1 or args.session_offset:
+            report = run_multi_load(
+                client, args.sessions, session_prefix=args.session,
+                session_offset=args.session_offset, seed=args.seed,
+                **load_kwargs,
+            )
+        else:
+            report = run_load(client, args.session, seed=args.seed,
+                              **load_kwargs)
         if args.shutdown:
             client.shutdown()
     finally:

@@ -78,6 +78,17 @@ class LatencyRecorder:
         if ms > self.budget_ms:
             self.over_budget += 1
 
+    def sorted_samples(self) -> list[float]:
+        """All recorded samples, sorted ascending — the *mergeable* form.
+
+        Cluster-wide percentiles must be taken over the union of every
+        shard's samples (averaging per-shard percentiles is wrong for
+        any skewed distribution); shards therefore export sorted sample
+        lists and :func:`repro.cluster.metrics.merge_latency` k-way
+        merges them before ranking.
+        """
+        return sorted(self.samples_ms)
+
     def snapshot(self) -> dict:
         """Percentile summary: count, p50/p95/p99/max ms, budget, misses."""
         ordered = sorted(self.samples_ms)

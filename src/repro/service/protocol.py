@@ -37,6 +37,15 @@ Ops
     Close a session (flushes and closes its replay journal).
 ``sessions``
     List live session names.
+``shard_stats``
+    Server-wide (per-shard) metrics rollup: counter sums over every
+    live session, the union of latency samples *sorted ascending*
+    (the mergeable form — cluster aggregation unions sorted sample
+    lists instead of averaging percentiles), and queue gauges.
+``cluster_stats``
+    Cluster-wide aggregate.  A plain server answers for itself as a
+    single-shard cluster; the :mod:`repro.cluster` router fans
+    ``shard_stats`` out to every shard and merges.
 ``shutdown``
     Stop the server (only honored when started with
     ``allow_shutdown=True``; otherwise ``shutdown-disabled``).
@@ -68,7 +77,8 @@ SESSION_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
 #: All request ops the server understands.
 OPS = frozenset({
     "ping", "create", "insert", "delete", "batch", "query_matching",
-    "stats", "snapshot", "close", "sessions", "shutdown",
+    "stats", "snapshot", "close", "sessions", "shard_stats",
+    "cluster_stats", "shutdown",
 })
 
 #: Ops that address an existing session via the ``session`` field.
@@ -91,6 +101,8 @@ _REQUIRED: dict[str, tuple[tuple[str, type], ...]] = {
     "close": (("session", str),),
     "ping": (),
     "sessions": (),
+    "shard_stats": (),
+    "cluster_stats": (),
     "shutdown": (),
 }
 

@@ -24,9 +24,11 @@ and ``examples/service_demo.py``.
 from __future__ import annotations
 
 import asyncio
+import signal
 import sys
 import threading
 from pathlib import Path
+from typing import Awaitable, Callable
 
 from repro.service import protocol
 from repro.service.batching import Backpressure, MicroBatcher
@@ -42,6 +44,78 @@ from repro.service.protocol import (
 from repro.service.session import Session, UpdateError, validate_session_params
 
 _EOF = object()
+
+
+async def pipe_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    respond: Callable[[str], Awaitable[bytes]],
+    max_inflight: int,
+) -> None:
+    """Drive one JSON-lines connection with bounded in-order pipelining.
+
+    Each request line becomes its own ``respond`` task; encoded
+    response lines are written back *in request order*.  Pipelining is
+    bounded: once ``max_inflight`` requests are awaiting responses, the
+    loop stops reading from the socket until responses drain, so a
+    client that never reads cannot grow the outbox (or the per-request
+    task set) without limit.
+
+    Shared by :class:`MatchingService` and the
+    :class:`repro.cluster.router.ClusterRouter` front-end — the two
+    speak the same wire protocol and need the same transport
+    discipline.
+    """
+    loop = asyncio.get_running_loop()
+    # The semaphore admits at most max_inflight response tasks, so
+    # the outbox can never hold more than that plus the EOF
+    # sentinel; the bound makes the invariant structural.
+    outbox: asyncio.Queue = asyncio.Queue(maxsize=max_inflight + 1)
+    inflight = asyncio.Semaphore(max_inflight)
+
+    async def write_responses() -> None:
+        while True:
+            task = await outbox.get()
+            if task is _EOF:
+                return
+            writer.write(await task)
+            await writer.drain()
+            inflight.release()
+
+    writer_task = loop.create_task(write_responses())
+    # If the writer dies early (client reset mid-write), a reader
+    # blocked on the semaphore must wake up to notice and bail out.
+    writer_task.add_done_callback(lambda _task: inflight.release())
+    try:
+        while True:
+            await inflight.acquire()
+            if writer_task.done():
+                break
+            line = await reader.readline()
+            if not line:
+                outbox.put_nowait(_EOF)
+                break
+            outbox.put_nowait(loop.create_task(
+                respond(line.decode("utf-8", "replace"))
+            ))
+        await writer_task
+    except ConnectionResetError:  # pragma: no cover - client vanished
+        writer_task.cancel()
+    except asyncio.CancelledError:
+        # Server shutdown cancels live connection tasks; swallow the
+        # cancellation (instead of re-raising into asyncio's stream
+        # callback, which would log it) and fall through to cleanup.
+        writer_task.cancel()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            # CancelledError lands here when shutdown cancels the
+            # task mid-wait; completing normally keeps asyncio's
+            # stream callback from logging a spurious traceback.
+            pass
 
 
 class MatchingService:
@@ -218,6 +292,17 @@ class MatchingService:
             return ok_response(protocol=protocol.PROTOCOL)
         if op == "sessions":
             return ok_response(sessions=sorted(self.sessions))
+        if op == "shard_stats":
+            return ok_response(**self.shard_stats_payload())
+        if op == "cluster_stats":
+            # A plain server is a cluster of one: answer with the same
+            # merged shape the repro.cluster router produces, so `stats`
+            # tooling works unchanged against either.
+            from repro.cluster.metrics import aggregate_cluster_stats
+
+            return ok_response(
+                **aggregate_cluster_stats([self.shard_stats_payload()])
+            )
         if op == "shutdown":
             if not self.allow_shutdown:
                 raise ProtocolError(
@@ -244,6 +329,40 @@ class MatchingService:
             return ok_response(**session.snapshot_payload())
         raise ProtocolError("unknown-op", f"unhandled op {op!r}")
 
+    def shard_stats_payload(self) -> dict:
+        """Server-wide metrics rollup in the *mergeable* form.
+
+        Counters are summed across sessions (lossless, they are
+        monotone event counts); latency samples are exported as one
+        sorted list so a cluster aggregator can union them and take
+        percentiles over the union — merging sorted per-shard lists is
+        exact, averaging per-shard percentiles is not.
+        """
+        counters: dict[str, int] = {}
+        samples: list[float] = []
+        over_budget = 0
+        queue_depth = 0
+        max_queue_depth = 0
+        for name in sorted(self.sessions):
+            session = self.sessions[name]
+            for counter, value in session.metrics.counters.snapshot().items():
+                counters[counter] = counters.get(counter, 0) + value
+            samples.extend(session.metrics.latency.samples_ms)
+            over_budget += session.metrics.latency.over_budget
+            queue_depth += session.metrics.queue_depth
+            max_queue_depth = max(max_queue_depth, session.metrics.max_queue_depth)
+        samples.sort()
+        return {
+            "sessions": sorted(self.sessions),
+            "counters": counters,
+            "latency": {
+                "samples_sorted_ms": [round(s, 4) for s in samples],
+                "over_budget": over_budget,
+                "budget_ms": self.budget_ms,
+            },
+            "queue": {"depth": queue_depth, "max_depth": max_queue_depth},
+        }
+
     async def _respond(self, line: str) -> dict:
         """Parse + dispatch one raw request line into a response dict."""
         request_id = None
@@ -266,66 +385,16 @@ class MatchingService:
     # ------------------------------------------------------------------ #
     # Transport                                                          #
     # ------------------------------------------------------------------ #
+    async def _respond_bytes(self, line: str) -> bytes:
+        return encode(await self._respond(line))
+
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Serve one client connection (in-order pipelined responses).
-
-        Pipelining is bounded: once ``max_inflight`` requests are
-        awaiting responses, the loop stops reading from the socket
-        until responses drain, so a client that never reads cannot
-        grow the outbox (or the per-request task set) without limit.
-        """
-        loop = asyncio.get_running_loop()
-        # The semaphore admits at most max_inflight response tasks, so
-        # the outbox can never hold more than that plus the EOF
-        # sentinel; the bound makes the invariant structural.
-        outbox: asyncio.Queue = asyncio.Queue(maxsize=self.max_inflight + 1)
-        inflight = asyncio.Semaphore(self.max_inflight)
-
-        async def write_responses() -> None:
-            while True:
-                task = await outbox.get()
-                if task is _EOF:
-                    return
-                writer.write(encode(await task))
-                await writer.drain()
-                inflight.release()
-
-        writer_task = loop.create_task(write_responses())
-        # If the writer dies early (client reset mid-write), a reader
-        # blocked on the semaphore must wake up to notice and bail out.
-        writer_task.add_done_callback(lambda _task: inflight.release())
-        try:
-            while True:
-                await inflight.acquire()
-                if writer_task.done():
-                    break
-                line = await reader.readline()
-                if not line:
-                    outbox.put_nowait(_EOF)
-                    break
-                outbox.put_nowait(loop.create_task(
-                    self._respond(line.decode("utf-8", "replace"))
-                ))
-            await writer_task
-        except ConnectionResetError:  # pragma: no cover - client vanished
-            writer_task.cancel()
-        except asyncio.CancelledError:
-            # Server shutdown cancels live connection tasks; swallow the
-            # cancellation (instead of re-raising into asyncio's stream
-            # callback, which would log it) and fall through to cleanup.
-            writer_task.cancel()
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError,
-                    asyncio.CancelledError):
-                # CancelledError lands here when shutdown cancels the
-                # task mid-wait; completing normally keeps asyncio's
-                # stream callback from logging a spurious traceback.
-                pass
+        """Serve one client connection (in-order pipelined responses)."""
+        await pipe_connection(
+            reader, writer, self._respond_bytes, self.max_inflight
+        )
 
     async def close_all(self) -> None:
         """Drain every batcher and close every session (and journal).
@@ -387,8 +456,13 @@ def run_server(
 ) -> int:
     """Blocking entry point for ``repro-experiments serve``.
 
-    Runs until the process is killed or a client issues ``shutdown``
-    (when ``allow_shutdown``).  Returns 0 on clean shutdown.
+    Runs until a client issues ``shutdown`` (when ``allow_shutdown``)
+    or the process receives SIGTERM/SIGINT.  Both paths are *graceful*:
+    the listening socket closes first (no new connections), every
+    session's micro-batcher drains its in-flight batch, journals are
+    flushed and closed, and the process exits 0 — which is what lets a
+    cluster supervisor stop shard workers without losing journaled
+    updates.
     """
     service = MatchingService(
         journal_dir=journal_dir,
@@ -398,8 +472,26 @@ def run_server(
         allow_shutdown=allow_shutdown,
         max_inflight=max_inflight,
     )
+
+    async def main() -> None:
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, service.request_shutdown)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                # Non-main thread or a platform without loop signal
+                # support; the shutdown op still works.
+                pass
+        try:
+            await service.serve_forever(host, port, announce=True)
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
     try:
-        _run_service_loop(service.serve_forever(host, port, announce=True))
+        _run_service_loop(main())
     except KeyboardInterrupt:  # pragma: no cover - interactive use
         print("interrupted; shutting down", file=sys.stderr)
     return 0
@@ -466,5 +558,12 @@ class BackgroundServer:
     def __exit__(self, *exc: object) -> None:
         """Request shutdown and join the server thread."""
         if self._loop is not None:
-            self._loop.call_soon_threadsafe(self.service.request_shutdown)
+            try:
+                self._loop.call_soon_threadsafe(
+                    self.service.request_shutdown
+                )
+            except RuntimeError:
+                # Loop already closed: a client issued ``shutdown`` and
+                # the server stopped on its own — nothing left to do.
+                pass
         self._thread.join(timeout=30)

@@ -1,0 +1,141 @@
+"""Cross-shard aggregation: exact percentile merge, counter sums, edges."""
+
+import pytest
+
+from repro.cluster.metrics import (
+    aggregate_cluster_stats,
+    merge_counters,
+    merge_latency,
+    merge_sorted_samples,
+)
+from repro.service.metrics import percentile_sorted
+
+pytestmark = pytest.mark.fast
+
+
+def _latency_payload(samples, budget_ms=5.0, over_budget=0):
+    return {
+        "samples_sorted_ms": sorted(samples),
+        "budget_ms": budget_ms,
+        "over_budget": over_budget,
+    }
+
+
+class TestCounters:
+    def test_sums_across_shards(self):
+        merged = merge_counters([
+            {"updates": 10, "inserts": 7},
+            {"updates": 5, "deletes": 2},
+            {},
+        ])
+        assert merged == {"updates": 15, "inserts": 7, "deletes": 2}
+
+    def test_missing_keys_count_as_zero(self):
+        assert merge_counters([{"a": 1}, {"b": 1}]) == {"a": 1, "b": 1}
+
+    def test_no_shards(self):
+        assert merge_counters([]) == {}
+
+
+class TestSampleMerge:
+    def test_union_is_sorted(self):
+        merged = merge_sorted_samples([[1.0, 4.0], [2.0, 3.0], []])
+        assert merged == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_everywhere(self):
+        assert merge_sorted_samples([[], []]) == []
+        assert merge_sorted_samples([]) == []
+
+
+class TestPercentileMerge:
+    def test_matches_single_server_over_the_union(self):
+        # The defining property: the cluster percentile equals what one
+        # server holding every sample would report.
+        shard_a = [0.1 * i for i in range(1, 60)]
+        shard_b = [5.0 + 0.2 * i for i in range(40)]
+        shard_c = [0.05]
+        union = sorted(shard_a + shard_b + shard_c)
+        merged = merge_latency([
+            _latency_payload(shard_a),
+            _latency_payload(shard_b),
+            _latency_payload(shard_c),
+        ])
+        for key, q in (("p50_ms", 50.0), ("p95_ms", 95.0), ("p99_ms", 99.0)):
+            assert merged[key] == round(percentile_sorted(union, q), 4)
+        assert merged["max_ms"] == round(union[-1], 4)
+        assert merged["count"] == len(union)
+
+    def test_union_beats_averaged_percentiles_on_skewed_tails(self):
+        # One fast shard, one slow shard: averaging per-shard p99s
+        # under-reports the real tail; the union does not.
+        fast = [0.1] * 99
+        slow = [10.0] * 99
+        merged = merge_latency([
+            _latency_payload(fast), _latency_payload(slow),
+        ])
+        averaged_p99 = (percentile_sorted(fast, 99.0)
+                        + percentile_sorted(slow, 99.0)) / 2
+        union = sorted(fast + slow)
+        assert merged["p99_ms"] == round(percentile_sorted(union, 99.0), 4)
+        assert merged["p99_ms"] == 10.0
+        assert averaged_p99 == pytest.approx(5.05)  # the wrong answer
+
+    def test_over_budget_sums_and_budget_takes_the_min(self):
+        merged = merge_latency([
+            _latency_payload([1.0], budget_ms=5.0, over_budget=2),
+            _latency_payload([2.0], budget_ms=3.0, over_budget=1),
+        ])
+        assert merged["over_budget"] == 3
+        assert merged["budget_ms"] == 3.0
+
+    def test_empty_shards_report_zeros(self):
+        merged = merge_latency([_latency_payload([]), _latency_payload([])])
+        assert merged["count"] == 0
+        assert merged["p50_ms"] == merged["p99_ms"] == merged["max_ms"] == 0.0
+
+    def test_mixed_empty_and_loaded_shards(self):
+        samples = [1.0, 2.0, 3.0]
+        merged = merge_latency([
+            _latency_payload([]), _latency_payload(samples),
+        ])
+        assert merged["count"] == 3
+        assert merged["p50_ms"] == round(percentile_sorted(samples, 50.0), 4)
+
+
+class TestAggregateClusterStats:
+    def _shard(self, sessions, counters, samples, depth=0, max_depth=0):
+        return {
+            "sessions": sessions,
+            "counters": counters,
+            "latency": _latency_payload(samples),
+            "queue": {"depth": depth, "max_depth": max_depth},
+        }
+
+    def test_merges_everything(self):
+        merged = aggregate_cluster_stats([
+            self._shard(["b", "a"], {"updates": 3}, [1.0], depth=1,
+                        max_depth=4),
+            self._shard(["c"], {"updates": 2, "queries": 1}, [0.5, 2.0],
+                        depth=2, max_depth=3),
+        ])
+        assert merged["shards"] == 2
+        assert merged["sessions"] == ["a", "b", "c"]
+        assert merged["per_shard_sessions"] == [2, 1]
+        assert merged["counters"] == {"updates": 5, "queries": 1}
+        assert merged["latency"]["count"] == 3
+        assert merged["queue"] == {"depth": 3, "max_depth": 4}
+
+    def test_zero_shards(self):
+        merged = aggregate_cluster_stats([])
+        assert merged["shards"] == 0
+        assert merged["sessions"] == []
+        assert merged["counters"] == {}
+        assert merged["latency"]["count"] == 0
+        assert merged["queue"] == {"depth": 0, "max_depth": 0}
+
+    def test_empty_shard_payloads(self):
+        # A shard that has served nothing exports minimal payloads.
+        merged = aggregate_cluster_stats([{}, self._shard([], {}, [])])
+        assert merged["shards"] == 2
+        assert merged["sessions"] == []
+        assert merged["per_shard_sessions"] == [0, 0]

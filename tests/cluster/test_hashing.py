@@ -1,0 +1,66 @@
+"""Rendezvous placement: determinism, stability, spread, edge cases."""
+
+import pytest
+
+from repro.cluster.hashing import place, placement_map, rendezvous_score
+
+pytestmark = pytest.mark.fast
+
+
+class TestDeterminism:
+    def test_pure_function(self):
+        # Same inputs, same answer — across calls and across "processes"
+        # (sha256, not the salted builtin hash).
+        assert [place("alpha", 5)] * 3 == [place("alpha", 5) for _ in range(3)]
+
+    def test_known_range(self):
+        for num_shards in (1, 2, 3, 8, 16):
+            for i in range(50):
+                assert 0 <= place(f"s{i}", num_shards) < num_shards
+
+    def test_single_shard_fast_path(self):
+        assert place("anything", 1) == 0
+
+    def test_score_is_64_bit(self):
+        score = rendezvous_score("session", 3)
+        assert 0 <= score < 2**64
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            place("s", 0)
+
+
+class TestStability:
+    def test_resize_only_moves_to_the_new_shard(self):
+        # The HRW property: growing K -> K+1 never shuffles sessions
+        # among surviving shards; movers all land on the new shard.
+        sessions = [f"sess-{i}" for i in range(300)]
+        for k in (1, 2, 4, 7):
+            for name in sessions:
+                before, after = place(name, k), place(name, k + 1)
+                if before != after:
+                    assert after == k
+
+    def test_resize_moves_roughly_one_over_k(self):
+        sessions = [f"sess-{i}" for i in range(1000)]
+        moved = sum(1 for s in sessions if place(s, 4) != place(s, 5))
+        # Expectation is 1000/5 = 200; generous deterministic bounds.
+        assert 100 <= moved <= 320
+
+
+class TestSpread:
+    def test_all_shards_get_work(self):
+        groups = placement_map([f"job-{i}" for i in range(400)], 8)
+        assert sorted(groups) == list(range(8))
+        assert all(len(names) > 10 for names in groups.values())
+
+    def test_placement_map_includes_empty_shards(self):
+        groups = placement_map(["only-one"], 4)
+        assert sorted(groups) == [0, 1, 2, 3]
+        assert sum(len(v) for v in groups.values()) == 1
+
+    def test_placement_map_agrees_with_place(self):
+        sessions = [f"x{i}" for i in range(64)]
+        groups = placement_map(sessions, 3)
+        for shard, names in groups.items():
+            assert all(place(name, 3) == shard for name in names)

@@ -1,0 +1,126 @@
+"""Shard-aware replay: byte-identity per shard, placement checks, layout."""
+
+import shutil
+
+import pytest
+
+from repro.cluster.hashing import place
+from repro.cluster.replay import (
+    ClusterReplayError,
+    discover_shards,
+    replay_shard,
+    shard_sessions,
+    verify_cluster,
+    verify_shard,
+)
+from repro.cluster.runner import BackgroundCluster
+from repro.service.client import ServiceClient
+
+SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def journaled_cluster_root(tmp_path_factory):
+    """Run real multi-session traffic through a cluster; return journals."""
+    root = tmp_path_factory.mktemp("replay-journals")
+    fingerprints = {}
+    with BackgroundCluster(shards=SHARDS, journal_dir=root) as cluster:
+        with ServiceClient(cluster.host, cluster.port) as client:
+            names = [f"rp-{i}" for i in range(8)]
+            for index, name in enumerate(names):
+                client.create(name, num_vertices=24, beta=1, epsilon=0.4,
+                              seed=index)
+                for i in range(0, 20, 2):
+                    client.insert(name, i, i + 1)
+                client.delete(name, 0, 1)
+                fingerprints[name] = client.snapshot(name)["fingerprint"]
+    assert cluster.worker_exit_codes == [0] * SHARDS
+    return root, fingerprints
+
+
+class TestDiscovery:
+    def test_discovers_contiguous_shards(self, journaled_cluster_root):
+        root, _ = journaled_cluster_root
+        shards = discover_shards(root)
+        assert sorted(shards) == list(range(SHARDS))
+
+    @pytest.mark.fast
+    def test_rejects_empty_root(self, tmp_path):
+        with pytest.raises(ClusterReplayError, match="no shard-K"):
+            discover_shards(tmp_path)
+
+    @pytest.mark.fast
+    def test_rejects_non_contiguous_layout(self, tmp_path):
+        (tmp_path / "shard-0").mkdir()
+        (tmp_path / "shard-2").mkdir()
+        with pytest.raises(ClusterReplayError, match="not contiguous"):
+            discover_shards(tmp_path)
+
+    @pytest.mark.fast
+    def test_ignores_foreign_directories(self, tmp_path):
+        (tmp_path / "shard-0").mkdir()
+        (tmp_path / "not-a-shard").mkdir()
+        assert sorted(discover_shards(tmp_path)) == [0]
+
+
+class TestVerification:
+    def test_verify_cluster_replays_every_session(
+        self, journaled_cluster_root
+    ):
+        root, fingerprints = journaled_cluster_root
+        report = verify_cluster(root)
+        assert report["shards"] == SHARDS
+        assert report["sessions"] == len(fingerprints)
+        replayed = {
+            entry["session"]: entry["fingerprint"]
+            for reports in report["per_shard"].values()
+            for entry in reports
+        }
+        # Byte-level oracle: offline replay lands on the exact served
+        # fingerprints.
+        assert replayed == fingerprints
+
+    def test_replay_and_verify_agree(self, journaled_cluster_root):
+        root, _ = journaled_cluster_root
+        shards = discover_shards(root)
+        for shard_dir in shards.values():
+            once = replay_shard(shard_dir)
+            twice = verify_shard(shard_dir)
+            assert once == twice
+
+    def test_sessions_live_on_their_placed_shard(
+        self, journaled_cluster_root
+    ):
+        root, _ = journaled_cluster_root
+        for shard_id, shard_dir in discover_shards(root).items():
+            for journal in shard_sessions(shard_dir):
+                assert place(journal.stem, SHARDS) == shard_id
+
+    def test_misplaced_journal_fails_the_placement_check(
+        self, journaled_cluster_root, tmp_path
+    ):
+        root, _ = journaled_cluster_root
+        # Copy the layout, then move one journal to the wrong shard.
+        bad_root = tmp_path / "bad"
+        shutil.copytree(root, bad_root)
+        moved = None
+        for shard_id, shard_dir in discover_shards(bad_root).items():
+            for journal in shard_sessions(shard_dir):
+                target = bad_root / f"shard-{(shard_id + 1) % SHARDS}"
+                moved = target / journal.name
+                journal.rename(moved)
+                break
+            if moved:
+                break
+        assert moved is not None
+        with pytest.raises(ClusterReplayError, match="rendezvous-places"):
+            verify_cluster(bad_root)
+
+    @pytest.mark.fast
+    def test_empty_shard_verifies_to_nothing(self, tmp_path):
+        (tmp_path / "shard-0").mkdir()
+        assert verify_shard(tmp_path / "shard-0") == []
+        report = verify_cluster(tmp_path)
+        assert report == {
+            "shards": 1, "sessions": 0, "updates": 0, "per_shard": {0: []},
+        }

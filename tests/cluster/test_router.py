@@ -1,0 +1,166 @@
+"""End-to-end cluster tests: routing, cluster ops, failure surfacing.
+
+These spawn real shard worker processes (no ``fast`` marker); the
+happy-path tests share one module-scoped cluster to amortize startup.
+"""
+
+import signal
+
+import pytest
+
+from repro.cluster.hashing import place
+from repro.cluster.runner import BackgroundCluster
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import PROTOCOL
+from repro.service.server import BackgroundServer
+
+SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    journal_root = tmp_path_factory.mktemp("cluster-journals")
+    with BackgroundCluster(shards=SHARDS, journal_dir=journal_root) as cl:
+        yield cl
+
+
+@pytest.fixture
+def client(cluster):
+    with ServiceClient(cluster.host, cluster.port) as cli:
+        yield cli
+
+
+def _spread_names(prefix, count=16):
+    """Session names that land on both shards (deterministic)."""
+    names = [f"{prefix}-{i}" for i in range(count)]
+    assert {place(name, SHARDS) for name in names} == set(range(SHARDS))
+    return names
+
+
+class TestRouting:
+    def test_ping_carries_the_cluster_banner(self, client):
+        response = client.ping()
+        assert response["protocol"] == PROTOCOL
+        assert response["cluster"] == {"shards": SHARDS}
+
+    def test_create_update_query_through_the_router(self, client):
+        names = _spread_names("route", 4)
+        for name in names:
+            client.create(name, num_vertices=16, beta=1, epsilon=0.4, seed=0)
+            client.insert(name, 0, 1)
+            client.insert(name, 2, 3)
+        payloads = [client.query_matching(name) for name in names]
+        for payload in payloads:
+            assert payload["size"] == len(payload["edges"])
+        # Same stream + same seed => same served state on every shard.
+        assert len({str(p["edges"]) for p in payloads}) == 1
+
+    def test_id_echo_passes_through_verbatim(self, client):
+        client.create("echo-check", num_vertices=8, beta=1, epsilon=0.4,
+                      seed=0)
+        response = client.call({"op": "stats", "session": "echo-check",
+                                "id": "req-77"})
+        assert response["id"] == "req-77"
+
+    def test_shard_error_codes_pass_through(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.query_matching("never-created")
+        assert excinfo.value.code == "no-such-session"
+
+    def test_router_local_protocol_errors(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.call({"op": "frobnicate"})
+        assert excinfo.value.code == "unknown-op"
+        with pytest.raises(ServiceError) as excinfo:
+            client.call({"op": "insert"})  # missing session
+        assert excinfo.value.code == "bad-request"
+
+    def test_sessions_merges_all_shards_sorted(self, client):
+        names = _spread_names("merge", 6)
+        for name in names:
+            client.create(name, num_vertices=8, beta=1, epsilon=0.4, seed=0)
+        listed = client.sessions()
+        assert [n for n in listed if n.startswith("merge-")] == sorted(names)
+
+    def test_routed_session_matches_single_server_byte_for_byte(
+        self, client
+    ):
+        # The determinism anchor: the same update stream with the same
+        # seed produces the identical fingerprint whether it flows
+        # through the router or straight into a single-process server.
+        updates = [("insert", i, i + 1) for i in range(0, 30, 2)]
+        updates += [("delete", i, i + 1) for i in range(0, 10, 2)]
+        client.create("ordered", num_vertices=32, beta=1, epsilon=0.4, seed=5)
+        for op, u, v in updates:
+            client.call({"op": op, "session": "ordered", "u": u, "v": v})
+        routed = client.snapshot("ordered")["fingerprint"]
+
+        with BackgroundServer() as server:
+            with ServiceClient(server.host, server.port) as direct:
+                direct.create("ordered", num_vertices=32, beta=1,
+                              epsilon=0.4, seed=5)
+                for op, u, v in updates:
+                    direct.call({"op": op, "session": "ordered",
+                                 "u": u, "v": v})
+                assert direct.snapshot("ordered")["fingerprint"] == routed
+
+
+class TestClusterStats:
+    def test_shard_stats_reports_every_shard(self, client):
+        response = client.shard_stats()
+        assert [entry["shard"] for entry in response["shards"]] == [0, 1]
+        assert response["unreachable"] == []
+        for entry in response["shards"]:
+            assert "counters" in entry
+            assert "samples_sorted_ms" in entry["latency"]
+
+    def test_cluster_stats_counters_sum_over_shards(self, client):
+        names = _spread_names("stats", 6)
+        for name in names:
+            client.create(name, num_vertices=8, beta=1, epsilon=0.4, seed=0)
+            client.insert(name, 0, 1)
+        per_shard = client.shard_stats()["shards"]
+        merged = client.cluster_stats()
+        assert merged["shards"] == SHARDS
+        total = sum(entry["counters"].get("updates", 0)
+                    for entry in per_shard)
+        assert merged["counters"]["updates"] == total
+        assert merged["latency"]["count"] == sum(
+            len(entry["latency"]["samples_sorted_ms"]) for entry in per_shard
+        )
+        assert len(merged["per_shard_sessions"]) == SHARDS
+
+    def test_single_server_answers_cluster_stats_as_one_shard(self, cluster):
+        # Shape parity: the same op straight at a shard worker reports
+        # a one-shard cluster, so `stats` tooling works against either.
+        host, port = cluster.supervisor.addresses()[0]
+        with ServiceClient(host, port) as direct:
+            merged = direct.cluster_stats()
+        assert merged["shards"] == 1
+        assert set(merged) >= {"sessions", "counters", "latency", "queue"}
+
+
+class TestShardFailure:
+    def test_dead_shard_surfaces_as_shard_unavailable(self, tmp_path):
+        with BackgroundCluster(shards=2, journal_dir=tmp_path) as cl:
+            with ServiceClient(cl.host, cl.port) as cli:
+                names = [f"fail-{i}" for i in range(8)]
+                on_zero = [n for n in names if place(n, 2) == 0]
+                on_one = [n for n in names if place(n, 2) == 1]
+                assert on_zero and on_one
+                for name in names:
+                    cli.create(name, num_vertices=8, beta=1, epsilon=0.4,
+                               seed=0)
+                victim = cl.supervisor.workers[0]
+                victim.process.send_signal(signal.SIGKILL)
+                victim.process.wait(timeout=10)
+                assert cl.supervisor.dead_shards() == [0]
+                with pytest.raises((ServiceError, ConnectionError)) as exc:
+                    for name in on_zero:
+                        cli.query_matching(name)
+                if isinstance(exc.value, ServiceError):
+                    assert exc.value.code == "shard-unavailable"
+            # The surviving shard keeps serving on a fresh connection.
+            with ServiceClient(cl.host, cl.port) as cli2:
+                for name in on_one:
+                    assert cli2.query_matching(name)["size"] == 0

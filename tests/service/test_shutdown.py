@@ -1,0 +1,73 @@
+"""Graceful signal shutdown for ``repro-experiments serve``.
+
+SIGTERM/SIGINT must: stop accepting connections, drain in-flight
+micro-batches, flush and close every journal, and exit 0 — the
+contract the cluster supervisor relies on to stop shard workers
+without losing journaled updates.
+"""
+
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster.supervisor import _ANNOUNCE_RE, _worker_env
+from repro.service.client import ServiceClient
+from repro.service.journal import replay_journal
+
+
+def _start_server(journal_dir):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", "0", "--journal-dir", str(journal_dir)],
+        stdout=subprocess.PIPE, text=True, bufsize=1, env=_worker_env(),
+    )
+    line = process.stdout.readline()
+    match = _ANNOUNCE_RE.search(line)
+    assert match, f"no announce line, got {line!r}"
+    return process, match.group("host"), int(match.group("port"))
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_drains_and_exits_zero(tmp_path, signum):
+    process, host, port = _start_server(tmp_path)
+    try:
+        with ServiceClient(host, port) as client:
+            client.create("sig", num_vertices=16, beta=1, epsilon=0.4,
+                          seed=0)
+            for i in range(0, 12, 2):
+                client.insert("sig", i, i + 1)
+            served = client.snapshot("sig")["fingerprint"]
+        process.send_signal(signum)
+        code = process.wait(timeout=30)
+    finally:
+        if process.poll() is None:  # pragma: no cover - hang guard
+            process.kill()
+            process.wait()
+        process.stdout.close()
+    assert code == 0
+    # The journal was flushed and closed on the way out: offline replay
+    # reproduces the served state byte-for-byte.
+    replayed = replay_journal(tmp_path / "sig.jsonl")
+    assert replayed.seq == 6
+    assert replayed.fingerprint() == served
+
+
+def test_sigterm_refuses_new_connections_while_draining(tmp_path):
+    # After the signal the listener closes before sessions drain; a new
+    # connect attempt must fail rather than hang half-served.
+    process, host, port = _start_server(tmp_path)
+    try:
+        with ServiceClient(host, port) as client:
+            client.create("drain", num_vertices=8, beta=1, epsilon=0.4,
+                          seed=0)
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30) == 0
+    finally:
+        if process.poll() is None:  # pragma: no cover - hang guard
+            process.kill()
+            process.wait()
+        process.stdout.close()
+    with pytest.raises(OSError):
+        ServiceClient(host, port)
